@@ -1,0 +1,273 @@
+package logdiver_test
+
+// The benchmark harness: one benchmark per reproduced table/figure (E1-E10,
+// A1, A2) plus throughput benchmarks for the pipeline stages. Each
+// experiment benchmark regenerates its artifact from a shared synthesized
+// dataset, so `go test -bench=.` exercises exactly the code path that
+// produced EXPERIMENTS.md.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"logdiver"
+	"logdiver/internal/experiments"
+	"logdiver/internal/gen"
+	"logdiver/internal/syslogx"
+)
+
+// benchState is generated once and shared by every benchmark.
+type benchState struct {
+	ds  *logdiver.Dataset
+	res *logdiver.Result
+}
+
+var (
+	benchOnce sync.Once
+	bench     benchState
+)
+
+func benchFixture(b *testing.B) *benchState {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := logdiver.ScaledGeneratorConfig(6)
+		cfg.Machine = logdiver.SmallMachine()
+		cfg.Seed = 3
+		cfg.Workload.JobsPerDay = 400
+		cfg.Workload.XECapabilityJobsPerDay = 3
+		cfg.Workload.XKCapabilityJobsPerDay = 1.5
+		cfg.Workload.XECapabilitySizes = []int{256, 512, 900}
+		cfg.Workload.XKCapabilitySizes = []int{64, 160}
+		cfg.Workload.FullScaleKneeXE = 512
+		cfg.Workload.FullScaleKneeXK = 160
+		cfg.Workload.SmallSizeMax = 96
+		cfg.Rates.NodeFatalPerNodeHour *= 20
+		cfg.Rates.GPUFatalPerNodeHour *= 100
+		ds, err := logdiver.Generate(cfg)
+		if err != nil {
+			panic(err)
+		}
+		res, err := logdiver.AnalyzeDataset(ds, logdiver.Options{})
+		if err != nil {
+			panic(err)
+		}
+		bench = benchState{ds: ds, res: res}
+	})
+	return &bench
+}
+
+// --- Experiment benchmarks: one per table/figure -------------------------
+
+func BenchmarkE1Workload(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.E1Workload(f.res); tbl == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkE2Outcomes(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.E2Outcomes(f.res); tbl == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkE3Categories(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.E3Categories(f.res); tbl == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkE4ScalingXE(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E4ScalingXE(f.res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5ScalingXK(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E5ScalingXK(f.res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6Distributions(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E6Distributions(f.res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7MTTI(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E7MTTI(f.res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8Timeline(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E8Timeline(f.res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE9Detection(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.E9Detection(f.res, f.ds.Truth); tbl == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkE10Coalesce(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.E10Coalesce(f.res); tbl == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkA1Window(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.A1Window(f.res, f.ds.Topology, f.ds.Truth, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkA2Baseline(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.A2Baseline(f.res, f.ds.Topology, f.ds.Truth); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Pipeline-stage benchmarks -------------------------------------------
+
+// BenchmarkGenerate measures synthesizer throughput (runs per op reported
+// as a custom metric).
+func BenchmarkGenerate(b *testing.B) {
+	cfg := logdiver.ScaledGeneratorConfig(1)
+	cfg.Machine = logdiver.SmallMachine()
+	cfg.Workload.JobsPerDay = 300
+	cfg.Workload.XECapabilitySizes = []int{256}
+	cfg.Workload.XKCapabilitySizes = []int{64}
+	cfg.Workload.SmallSizeMax = 96
+	b.ResetTimer()
+	var runs int
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		ds, err := gen.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runs += len(ds.Runs)
+	}
+	b.ReportMetric(float64(runs)/float64(b.N), "runs/op")
+}
+
+// BenchmarkAnalyzeDataset measures the full in-memory pipeline.
+func BenchmarkAnalyzeDataset(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := logdiver.AnalyzeDataset(f.ds, logdiver.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Runs) != len(f.ds.Runs) {
+			b.Fatal("run count mismatch")
+		}
+	}
+	b.ReportMetric(float64(len(f.ds.Runs)), "runs/op")
+}
+
+// BenchmarkAnalyzeArchives measures the text-parsing pipeline end to end.
+func BenchmarkAnalyzeArchives(b *testing.B) {
+	f := benchFixture(b)
+	var acc, aps, sys strings.Builder
+	if err := f.ds.WriteAccounting(&acc); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.ds.WriteApsys(&aps); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.ds.WriteErrorLog(&sys); err != nil {
+		b.Fatal(err)
+	}
+	accS, apsS, sysS := acc.String(), aps.String(), sys.String()
+	b.SetBytes(int64(len(accS) + len(apsS) + len(sysS)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := logdiver.Analyze(logdiver.Archives{
+			Accounting: strings.NewReader(accS),
+			Apsys:      strings.NewReader(apsS),
+			Syslog:     strings.NewReader(sysS),
+		}, f.ds.Topology, logdiver.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Runs) != len(f.ds.Runs) {
+			b.Fatal("run count mismatch")
+		}
+	}
+}
+
+// BenchmarkSyslogParse measures raw line-parser throughput.
+func BenchmarkSyslogParse(b *testing.B) {
+	f := benchFixture(b)
+	var sys strings.Builder
+	if err := f.ds.WriteErrorLog(&sys); err != nil {
+		b.Fatal(err)
+	}
+	text := sys.String()
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := syslogx.NewScanner(strings.NewReader(text))
+		var n int
+		for sc.Scan() {
+			n++
+		}
+		if n == 0 {
+			b.Fatal("no lines parsed")
+		}
+	}
+}

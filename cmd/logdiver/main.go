@@ -1,0 +1,391 @@
+// Command logdiver analyzes HPC log archives: it joins workload accounting,
+// ALPS application logs and syslog error logs, attributes every application
+// run's outcome, and prints the study's tables.
+//
+// Usage:
+//
+//	logdiver analyze -accounting acc.log -apsys apsys.log -syslog sys.log \
+//	    [-truth truth.jsonl] [-machine bluewaters|small] [-format ascii|md|csv]
+//	    [-rules site-rules.txt]
+//	logdiver coalesce -syslog sys.log [-temporal 5m] [-spatial 2m] [-top 25]
+//	logdiver avail -syslog sys.log [-machine bluewaters|small] [-top 5]
+//	logdiver generate -days 30 -out ./archive        (alias of tracegen)
+//
+// The analyze subcommand prints the experiment tables (E1-E17, plus the
+// A1-A3 ablations when -truth is given) to stdout. coalesce prints the
+// machine-level error events; avail reconstructs node availability.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"logdiver"
+	"logdiver/internal/avail"
+	"logdiver/internal/coalesce"
+	"logdiver/internal/gen"
+	"logdiver/internal/syslogx"
+	"logdiver/internal/taxonomy"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "logdiver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: logdiver <analyze|generate> [flags]")
+	}
+	switch args[0] {
+	case "analyze":
+		return analyze(args[1:])
+	case "generate":
+		return generate(args[1:])
+	case "coalesce":
+		return coalesceCmd(args[1:])
+	case "avail":
+		return availCmd(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want analyze, avail, coalesce or generate)", args[0])
+	}
+}
+
+func analyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	var (
+		accPath  = fs.String("accounting", "", "path to the accounting archive")
+		apsPath  = fs.String("apsys", "", "path to the apsys archive")
+		sysPath  = fs.String("syslog", "", "path to the syslog archive")
+		truth    = fs.String("truth", "", "optional ground-truth sidecar (enables E9/A1/A2)")
+		machine  = fs.String("machine", "bluewaters", "machine model: bluewaters or small")
+		format   = fs.String("format", "ascii", "output format: ascii, md or csv")
+		timezone = fs.String("tz", "UTC", "accounting timestamp zone")
+		rules    = fs.String("rules", "", "optional classifier rule file (replaces the built-in taxonomy rules)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *apsPath == "" {
+		return fmt.Errorf("analyze: -apsys is required (application runs are the unit of analysis)")
+	}
+
+	var mc logdiver.MachineConfig
+	switch *machine {
+	case "bluewaters":
+		mc = logdiver.BlueWaters()
+	case "small":
+		mc = logdiver.SmallMachine()
+	default:
+		return fmt.Errorf("unknown machine %q", *machine)
+	}
+	top, err := logdiver.NewTopology(mc)
+	if err != nil {
+		return err
+	}
+	loc, err := time.LoadLocation(*timezone)
+	if err != nil {
+		return fmt.Errorf("timezone: %w", err)
+	}
+
+	archives := logdiver.Archives{Location: loc}
+	var closers []io.Closer
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	openInto := func(path string, dst *io.Reader) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, f)
+		*dst = f
+		return nil
+	}
+	if err := openInto(*accPath, &archives.Accounting); err != nil {
+		return err
+	}
+	if err := openInto(*apsPath, &archives.Apsys); err != nil {
+		return err
+	}
+	if err := openInto(*sysPath, &archives.Syslog); err != nil {
+		return err
+	}
+
+	opts := logdiver.Options{}
+	if *rules != "" {
+		f, err := os.Open(*rules)
+		if err != nil {
+			return err
+		}
+		parsed, err := taxonomy.ReadRules(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		opts.Classifier = taxonomy.NewClassifier(parsed)
+	}
+	res, err := logdiver.Analyze(archives, top, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "parsed: %d jobs, %d runs, %d events (%d malformed syslog lines skipped)\n",
+		len(res.Jobs), len(res.Runs), len(res.Events), res.Parse.SyslogMalformed)
+
+	var truthMap map[uint64]logdiver.Truth
+	if *truth != "" {
+		f, err := os.Open(*truth)
+		if err != nil {
+			return err
+		}
+		truthMap, err = gen.ReadTruth(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+
+	tables, err := logdiver.Experiments(res, top, truthMap)
+	if err != nil {
+		return err
+	}
+	for _, tbl := range tables {
+		var renderErr error
+		switch *format {
+		case "ascii":
+			renderErr = tbl.Render(os.Stdout)
+			fmt.Println()
+		case "md":
+			renderErr = tbl.RenderMarkdown(os.Stdout)
+		case "csv":
+			fmt.Printf("# %s: %s\n", tbl.ID, tbl.Title)
+			renderErr = tbl.RenderCSV(os.Stdout)
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+		if renderErr != nil {
+			return renderErr
+		}
+	}
+	return nil
+}
+
+// coalesceCmd reads a syslog archive and prints the machine-level error
+// events the coalescer reconstructs: the operations view of the error log.
+func coalesceCmd(args []string) error {
+	fs := flag.NewFlagSet("coalesce", flag.ContinueOnError)
+	var (
+		sysPath  = fs.String("syslog", "", "path to the syslog archive")
+		temporal = fs.Duration("temporal", coalesce.DefaultTemporalWindow, "tupling window")
+		spatial  = fs.Duration("spatial", coalesce.DefaultSpatialWindow, "spatial merge window")
+		top      = fs.Int("top", 25, "print the N largest machine-level events")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sysPath == "" {
+		return fmt.Errorf("coalesce: -syslog is required")
+	}
+	f, err := os.Open(*sysPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	cls := taxonomy.Default()
+	sc := syslogx.NewScanner(f)
+	var events []logdiver.Event
+	for sc.Scan() {
+		line := sc.Line()
+		cat, sev := cls.Classify(line.Message)
+		if cat == taxonomy.Unclassified {
+			continue
+		}
+		events = append(events, logdiver.Event{
+			Time: line.Time, Node: -1, Cname: line.Host,
+			Category: cat, Severity: sev, Message: line.Message,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	_, groups, stats := coalesce.Pipeline(events, *temporal, *spatial)
+	fmt.Printf("%s\n\n", stats)
+	// Largest groups by raw-event volume first.
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Events > groups[j].Events })
+	n := *top
+	if n > len(groups) {
+		n = len(groups)
+	}
+	fmt.Printf("%-20s %-16s %-6s %8s %10s\n", "start", "category", "sev", "events", "span")
+	for _, g := range groups[:n] {
+		fmt.Printf("%-20s %-16s %-6s %8d %10s\n",
+			g.Start.Format("2006-01-02 15:04:05"), g.Category, g.Severity,
+			g.Events, g.End.Sub(g.Start).Round(time.Second))
+	}
+	return nil
+}
+
+// availCmd reconstructs node availability from a syslog archive: failures,
+// repair times and aggregate machine availability.
+func availCmd(args []string) error {
+	fs := flag.NewFlagSet("avail", flag.ContinueOnError)
+	var (
+		sysPath = fs.String("syslog", "", "path to the syslog archive")
+		mc      = fs.String("machine", "bluewaters", "machine model: bluewaters or small")
+		topN    = fs.Int("top", 5, "print the N longest outages")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sysPath == "" {
+		return fmt.Errorf("avail: -syslog is required")
+	}
+	var cfg logdiver.MachineConfig
+	switch *mc {
+	case "bluewaters":
+		cfg = logdiver.BlueWaters()
+	case "small":
+		cfg = logdiver.SmallMachine()
+	default:
+		return fmt.Errorf("unknown machine %q", *mc)
+	}
+	top, err := logdiver.NewTopology(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*sysPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	cls := taxonomy.Default()
+	sc := syslogx.NewScanner(f)
+	var events []logdiver.Event
+	var first, last time.Time
+	for sc.Scan() {
+		line := sc.Line()
+		cat, sev := cls.Classify(line.Message)
+		if cat == taxonomy.Unclassified {
+			continue
+		}
+		node := logdiver.NodeID(-1)
+		if id, err := top.LookupString(line.Host); err == nil {
+			node = id
+		}
+		events = append(events, logdiver.Event{
+			Time: line.Time, Node: node, Cname: line.Host,
+			Category: cat, Severity: sev, Message: line.Message,
+		})
+		if first.IsZero() || line.Time.Before(first) {
+			first = line.Time
+		}
+		if line.Time.After(last) {
+			last = line.Time
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("avail: no classifiable events in %s", *sysPath)
+	}
+	downs, err := avail.Reconstruct(events, last)
+	if err != nil {
+		return err
+	}
+	sum, err := avail.Summarize(downs, top.NumXE()+top.NumXK(), first, last)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("window: %s to %s (%.1f days)\n", first.Format("2006-01-02"),
+		last.Format("2006-01-02"), sum.WindowHours/24)
+	fmt.Printf("node failures: %d (%d unresolved), %d distinct nodes\n",
+		sum.Failures, sum.OpenFailures, sum.DistinctNodes)
+	fmt.Printf("downtime: %.1f node-hours; MTTR %.2f h; availability %.4f%%\n",
+		sum.DowntimeHours, sum.MTTRHours, 100*sum.Availability)
+	for _, c := range avail.CausesOf(downs) {
+		fmt.Printf("  cause %-16s %d\n", c.Cause, c.Count)
+	}
+	sort.Slice(downs, func(i, j int) bool { return downs[i].Duration() > downs[j].Duration() })
+	n := *topN
+	if n > len(downs) {
+		n = len(downs)
+	}
+	fmt.Printf("longest outages:\n")
+	for _, d := range downs[:n] {
+		open := ""
+		if d.Open {
+			open = " (unresolved)"
+		}
+		node, err := top.Node(d.Node)
+		cname := "?"
+		if err == nil {
+			cname = node.Cname.String()
+		}
+		fmt.Printf("  %-14s %-16s %s for %s%s\n", cname, d.Cause,
+			d.From.Format("2006-01-02 15:04"), d.Duration().Round(time.Minute), open)
+	}
+	return nil
+}
+
+// generate delegates to the tracegen implementation by re-execing its logic
+// inline (same flags).
+func generate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
+	var (
+		days = fs.Int("days", 30, "production days to synthesize")
+		seed = fs.Int64("seed", 1, "random seed")
+		out  = fs.String("out", "archive", "output directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := logdiver.ScaledGeneratorConfig(*days)
+	cfg.Seed = *seed
+	ds, err := logdiver.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, fn func(io.Writer) error) error {
+		f, err := os.Create(*out + "/" + name)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write("accounting.log", func(w io.Writer) error { return ds.WriteAccounting(w) }); err != nil {
+		return err
+	}
+	if err := write("apsys.log", func(w io.Writer) error { return ds.WriteApsys(w) }); err != nil {
+		return err
+	}
+	if err := write("syslog.log", func(w io.Writer) error { return ds.WriteErrorLog(w) }); err != nil {
+		return err
+	}
+	if err := write("truth.jsonl", func(w io.Writer) error { return ds.WriteTruth(w) }); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d jobs / %d runs / %d events to %s\n",
+		len(ds.Jobs), len(ds.Runs), len(ds.Events), *out)
+	return nil
+}

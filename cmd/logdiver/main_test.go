@@ -1,0 +1,261 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"logdiver"
+)
+
+// writeArchive generates a tiny dataset and writes the four archive files
+// into dir.
+func writeArchive(t *testing.T, dir string) {
+	t.Helper()
+	cfg := logdiver.ScaledGeneratorConfig(1)
+	cfg.Machine = logdiver.SmallMachine()
+	cfg.Seed = 21
+	cfg.Workload.JobsPerDay = 150
+	cfg.Workload.XECapabilitySizes = []int{256}
+	cfg.Workload.XKCapabilitySizes = []int{64}
+	cfg.Workload.SmallSizeMax = 64
+	ds, err := logdiver.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, fn func(f *os.File) error) {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fn(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("accounting.log", func(f *os.File) error { return ds.WriteAccounting(f) })
+	write("apsys.log", func(f *os.File) error { return ds.WriteApsys(f) })
+	write("syslog.log", func(f *os.File) error { return ds.WriteErrorLog(f) })
+	write("truth.jsonl", func(f *os.File) error { return ds.WriteTruth(f) })
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"analyze"}); err == nil {
+		t.Error("analyze without -apsys accepted")
+	}
+	if err := run([]string{"analyze", "-apsys", "x", "-machine", "bogus"}); err == nil {
+		t.Error("bogus machine accepted")
+	}
+	if err := run([]string{"analyze", "-apsys", "/does/not/exist", "-machine", "small"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestAnalyzeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	writeArchive(t, dir)
+
+	// Redirect stdout to a file to keep test output clean and capture it.
+	outPath := filepath.Join(dir, "out.txt")
+	outFile, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origStdout := os.Stdout
+	os.Stdout = outFile
+	defer func() { os.Stdout = origStdout }()
+
+	err = run([]string{
+		"analyze",
+		"-accounting", filepath.Join(dir, "accounting.log"),
+		"-apsys", filepath.Join(dir, "apsys.log"),
+		"-syslog", filepath.Join(dir, "syslog.log"),
+		"-truth", filepath.Join(dir, "truth.jsonl"),
+		"-machine", "small",
+		"-format", "md",
+	})
+	os.Stdout = origStdout
+	outFile.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{"E1", "E2", "E9", "A2", "1.53%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestAnalyzeFormats(t *testing.T) {
+	dir := t.TempDir()
+	writeArchive(t, dir)
+	for _, format := range []string{"ascii", "csv"} {
+		outFile, err := os.Create(filepath.Join(dir, "out-"+format))
+		if err != nil {
+			t.Fatal(err)
+		}
+		origStdout := os.Stdout
+		os.Stdout = outFile
+		err = run([]string{
+			"analyze",
+			"-apsys", filepath.Join(dir, "apsys.log"),
+			"-syslog", filepath.Join(dir, "syslog.log"),
+			"-machine", "small",
+			"-format", format,
+		})
+		os.Stdout = origStdout
+		outFile.Close()
+		if err != nil {
+			t.Fatalf("format %s: %v", format, err)
+		}
+	}
+	// Unknown format is rejected.
+	err := run([]string{
+		"analyze",
+		"-apsys", filepath.Join(dir, "apsys.log"),
+		"-machine", "small",
+		"-format", "xml",
+	})
+	if err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestCoalesceSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	writeArchive(t, dir)
+	outFile, err := os.Create(filepath.Join(dir, "coalesce.out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	origStdout := os.Stdout
+	os.Stdout = outFile
+	err = run([]string{"coalesce", "-syslog", filepath.Join(dir, "syslog.log"), "-top", "5"})
+	os.Stdout = origStdout
+	outFile.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "coalesce.out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "reduction") {
+		t.Errorf("missing stats line:\n%s", data)
+	}
+	if err := run([]string{"coalesce"}); err == nil {
+		t.Error("coalesce without -syslog accepted")
+	}
+	if err := run([]string{"coalesce", "-syslog", "/does/not/exist"}); err == nil {
+		t.Error("missing syslog file accepted")
+	}
+}
+
+func TestAnalyzeWithRuleFile(t *testing.T) {
+	dir := t.TempDir()
+	writeArchive(t, dir)
+	// A minimal rule file that only understands heartbeat faults.
+	rules := "hb NODE_HEARTBEAT CRIT (?i)heartbeat fault\n"
+	rulePath := filepath.Join(dir, "rules.txt")
+	if err := os.WriteFile(rulePath, []byte(rules), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outFile, err := os.Create(filepath.Join(dir, "rules.out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	origStdout := os.Stdout
+	os.Stdout = outFile
+	err = run([]string{
+		"analyze",
+		"-apsys", filepath.Join(dir, "apsys.log"),
+		"-syslog", filepath.Join(dir, "syslog.log"),
+		"-machine", "small",
+		"-rules", rulePath,
+	})
+	os.Stdout = origStdout
+	outFile.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A broken rule file is rejected.
+	if err := os.WriteFile(rulePath, []byte("broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{
+		"analyze",
+		"-apsys", filepath.Join(dir, "apsys.log"),
+		"-machine", "small",
+		"-rules", rulePath,
+	})
+	if err == nil {
+		t.Error("broken rule file accepted")
+	}
+}
+
+func TestAvailSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	writeArchive(t, dir)
+	outFile, err := os.Create(filepath.Join(dir, "avail.out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	origStdout := os.Stdout
+	os.Stdout = outFile
+	err = run([]string{"avail", "-syslog", filepath.Join(dir, "syslog.log"), "-machine", "small"})
+	os.Stdout = origStdout
+	outFile.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "avail.out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{"node failures", "availability", "longest outages"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("avail output missing %q:\n%s", want, out)
+		}
+	}
+	if err := run([]string{"avail"}); err == nil {
+		t.Error("avail without -syslog accepted")
+	}
+}
+
+func TestGenerateSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	// The generate subcommand always uses the full topology; keep it to a
+	// fraction of a day... it does not support fractional days, so use a
+	// single day and accept ~2s of work.
+	if testing.Short() {
+		t.Skip("full-topology generation; skipped in -short")
+	}
+	err := run([]string{"generate", "-days", "1", "-seed", "9", "-out", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"accounting.log", "apsys.log", "syslog.log", "truth.jsonl"} {
+		st, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}

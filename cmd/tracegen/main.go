@@ -1,0 +1,97 @@
+// Command tracegen synthesizes a Blue Waters-style field-data archive:
+// Torque accounting, ALPS apsys and syslog error logs, plus the ground-truth
+// sidecar, written to a directory.
+//
+// Usage:
+//
+//	tracegen -days 30 -seed 1 -out ./archive [-machine bluewaters|small]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"logdiver"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		days    = flag.Int("days", 30, "production days to synthesize")
+		seed    = flag.Int64("seed", 1, "random seed (fixed seed reproduces the archive byte for byte)")
+		out     = flag.String("out", "archive", "output directory")
+		machine = flag.String("machine", "bluewaters", "machine model: bluewaters or small")
+	)
+	flag.Parse()
+
+	cfg := logdiver.ScaledGeneratorConfig(*days)
+	cfg.Seed = *seed
+	switch *machine {
+	case "bluewaters":
+		// default
+	case "small":
+		cfg.Machine = logdiver.SmallMachine()
+		cfg.Workload.JobsPerDay = 300
+		cfg.Workload.XECapabilitySizes = []int{256, 512, 900}
+		cfg.Workload.XKCapabilitySizes = []int{64, 160}
+		cfg.Workload.FullScaleKneeXE = 512
+		cfg.Workload.FullScaleKneeXK = 160
+		cfg.Workload.SmallSizeMax = 96
+	default:
+		return fmt.Errorf("unknown machine %q", *machine)
+	}
+
+	fmt.Fprintf(os.Stderr, "generating %d days on %s (seed %d)...\n", *days, *machine, *seed)
+	ds, err := logdiver.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "jobs=%d runs=%d events=%d\n", len(ds.Jobs), len(ds.Runs), len(ds.Events))
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	writers := []struct {
+		name  string
+		write func(*bufio.Writer) error
+	}{
+		{"accounting.log", func(w *bufio.Writer) error { return ds.WriteAccounting(w) }},
+		{"apsys.log", func(w *bufio.Writer) error { return ds.WriteApsys(w) }},
+		{"syslog.log", func(w *bufio.Writer) error { return ds.WriteErrorLog(w) }},
+		{"truth.jsonl", func(w *bufio.Writer) error { return ds.WriteTruth(w) }},
+	}
+	for _, spec := range writers {
+		path := filepath.Join(*out, spec.name)
+		if err := writeFile(path, spec.write); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	return nil
+}
+
+func writeFile(path string, write func(*bufio.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := write(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

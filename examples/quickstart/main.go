@@ -1,0 +1,61 @@
+// Quickstart: synthesize a few days of field data, run the LogDiver-style
+// pipeline over it, and print the headline resilience numbers.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"logdiver"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A small machine (1,536 nodes) and three production days keep this
+	// example under a couple of seconds.
+	cfg := logdiver.ScaledGeneratorConfig(3)
+	cfg.Machine = logdiver.SmallMachine()
+	cfg.Workload.JobsPerDay = 400
+	cfg.Workload.XECapabilitySizes = []int{256, 512, 900}
+	cfg.Workload.XKCapabilitySizes = []int{64, 160}
+	cfg.Workload.FullScaleKneeXE = 512
+	cfg.Workload.FullScaleKneeXK = 160
+	cfg.Workload.SmallSizeMax = 96
+
+	ds, err := logdiver.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("synthesized: %d jobs, %d application runs, %d error-log events\n",
+		len(ds.Jobs), len(ds.Runs), len(ds.Events))
+
+	res, err := logdiver.AnalyzeDataset(ds, logdiver.Options{})
+	if err != nil {
+		return err
+	}
+
+	b := logdiver.Outcomes(res.Runs)
+	fmt.Println("\noutcome breakdown:")
+	for _, o := range []logdiver.Outcome{
+		logdiver.OutcomeSuccess, logdiver.OutcomeUserFailure,
+		logdiver.OutcomeWalltime, logdiver.OutcomeSystemFailure,
+	} {
+		fmt.Printf("  %-9s %6d runs (%5.2f%%)\n", o, b.Counts[o],
+			100*float64(b.Counts[o])/float64(b.Total))
+	}
+	fmt.Printf("\nsystem-failure fraction: %.2f%% (paper, full machine: %.2f%%)\n",
+		100*b.SystemFailureFraction(), 100*logdiver.AnchorSystemFraction)
+	fmt.Printf("node-hours consumed by system-failed runs: %.2f%% (paper: %.0f%%)\n",
+		100*b.SystemNodeHoursFraction(), 100*logdiver.AnchorLostNodeHours)
+
+	// The same result renders the paper's tables directly.
+	fmt.Println()
+	tbl := logdiver.ExperimentE2(res)
+	return tbl.Render(os.Stdout)
+}

@@ -1,0 +1,73 @@
+// Scaling study: reproduce the paper's second lesson — the dramatic
+// increase in application failure probability at full machine scale — by
+// synthesizing production on the full Blue Waters topology and measuring
+// P(system failure) as a function of placement size for XE and XK
+// applications.
+//
+// Run with -days to trade runtime for statistical power (each anchor point
+// gains roughly two runs per day of synthesized production).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"logdiver"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scaling-study:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	days := flag.Int("days", 45, "production days to synthesize")
+	flag.Parse()
+
+	t0 := time.Now()
+	cfg := logdiver.ScaledGeneratorConfig(*days)
+	ds, err := logdiver.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := logdiver.AnalyzeDataset(ds, logdiver.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d runs over %d synthesized days (%v)\n\n",
+		len(res.Runs), *days, time.Since(t0).Round(time.Second))
+
+	for _, study := range []struct {
+		name   string
+		class  logdiver.NodeClass
+		max    int
+		anchor [2]float64 // low-scale, full-scale paper anchors
+	}{
+		{"XE (CPU) applications", logdiver.ClassXE, 22636,
+			[2]float64{logdiver.AnchorXEProb10k, logdiver.AnchorXEProb22k}},
+		{"XK (hybrid) applications", logdiver.ClassXK, 4224,
+			[2]float64{logdiver.AnchorXKProb2k, logdiver.AnchorXKProb4224}},
+	} {
+		buckets, err := logdiver.FailureProbabilityByScale(
+			res.Runs, logdiver.GeometricBuckets(study.max), study.class)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", study.name)
+		fmt.Printf("  %-14s %8s %9s %9s\n", "nodes", "runs", "P(fail)", "95% CI")
+		for _, b := range buckets {
+			if b.Runs == 0 {
+				continue
+			}
+			fmt.Printf("  %-14s %8d %9.4f [%.4f, %.4f]\n",
+				b.Label(), b.Runs, b.Prob.P, b.Prob.Lo, b.Prob.Hi)
+		}
+		fmt.Printf("  paper anchors: %.3f at routine scale -> %.3f at full scale\n\n",
+			study.anchor[0], study.anchor[1])
+	}
+	return nil
+}

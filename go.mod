@@ -1,0 +1,3 @@
+module logdiver
+
+go 1.22

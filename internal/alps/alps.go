@@ -1,0 +1,268 @@
+// Package alps models the ALPS (Application Level Placement Scheduler)
+// application log: the apsys records that mark every aprun-launched
+// application's placement and exit. These are the records that define an
+// "application run" in the study — the unit whose resiliency is measured.
+// Each run appears as a pair of syslog messages with the apsys tag:
+//
+//	apid=456789, Starting, user=alice, batch_id=123456.bw, cmd=vasp, width=2048, num_nodes=64, node_list=100-163
+//	apid=456789, Finishing, exit_code=0, signal=0, node_cnt=64
+//
+// The package provides formatting and parsing of both message bodies and an
+// Assembler that pairs them into AppRun records.
+package alps
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"logdiver/internal/machine"
+)
+
+// Tag is the syslog program tag under which apsys logs application events.
+const Tag = "apsys"
+
+// AppRun is one aprun-launched application execution: the study's unit of
+// analysis.
+type AppRun struct {
+	// ApID is the ALPS application ID, unique machine-wide.
+	ApID uint64
+	// JobID is the batch job (Torque) the run belongs to.
+	JobID string
+	// User is the submitting user.
+	User string
+	// Cmd is the executable name.
+	Cmd string
+	// Width is the number of processing elements (PEs, i.e. ranks).
+	Width int
+	// Nodes is the placement, ascending.
+	Nodes []machine.NodeID
+	// Start and End bound the execution.
+	Start, End time.Time
+	// ExitCode is the application exit code (0 on success); meaningless
+	// when Signal != 0.
+	ExitCode int
+	// Signal is the fatal signal number, 0 if none.
+	Signal int
+}
+
+// Duration returns the run's wall-clock duration.
+func (r AppRun) Duration() time.Duration { return r.End.Sub(r.Start) }
+
+// NodeHours returns the node-hours consumed by the run.
+func (r AppRun) NodeHours() float64 {
+	return float64(len(r.Nodes)) * r.Duration().Hours()
+}
+
+// Failed reports whether the run terminated abnormally (nonzero exit code
+// or fatal signal).
+func (r AppRun) Failed() bool { return r.ExitCode != 0 || r.Signal != 0 }
+
+// StartMessage renders the apsys "Starting" message body for r.
+func StartMessage(r AppRun) string {
+	var b strings.Builder
+	b.Grow(96 + len(r.Nodes)*4)
+	b.WriteString("apid=")
+	b.WriteString(strconv.FormatUint(r.ApID, 10))
+	b.WriteString(", Starting, user=")
+	b.WriteString(r.User)
+	b.WriteString(", batch_id=")
+	b.WriteString(r.JobID)
+	b.WriteString(", cmd=")
+	b.WriteString(r.Cmd)
+	b.WriteString(", width=")
+	b.WriteString(strconv.Itoa(r.Width))
+	b.WriteString(", num_nodes=")
+	b.WriteString(strconv.Itoa(len(r.Nodes)))
+	b.WriteString(", node_list=")
+	b.WriteString(FormatNIDList(r.Nodes))
+	return b.String()
+}
+
+// ExitMessage renders the apsys "Finishing" message body for r.
+func ExitMessage(r AppRun) string {
+	return fmt.Sprintf("apid=%d, Finishing, exit_code=%d, signal=%d, node_cnt=%d",
+		r.ApID, r.ExitCode, r.Signal, len(r.Nodes))
+}
+
+// MessageKind discriminates the two apsys record kinds.
+type MessageKind int
+
+// Message kinds.
+const (
+	KindUnknown MessageKind = iota
+	KindStarting
+	KindFinishing
+)
+
+// Message is one parsed apsys message body.
+type Message struct {
+	Kind     MessageKind
+	ApID     uint64
+	User     string
+	JobID    string
+	Cmd      string
+	Width    int
+	Nodes    []machine.NodeID
+	ExitCode int
+	Signal   int
+	NodeCnt  int
+}
+
+// ParseMessage parses an apsys message body. Bodies that are valid apsys
+// output but not Starting/Finishing records (e.g. error chatter) yield
+// KindUnknown with a nil error so callers can skip them cheaply.
+func ParseMessage(body string) (Message, error) {
+	var m Message
+	fields, err := splitFields(body)
+	if err != nil {
+		return m, err
+	}
+	apidStr, ok := fields["apid"]
+	if !ok {
+		return m, nil // apsys chatter without an apid: not a placement record
+	}
+	apid, err := strconv.ParseUint(apidStr, 10, 64)
+	if err != nil {
+		return m, fmt.Errorf("alps: bad apid %q: %w", apidStr, err)
+	}
+	m.ApID = apid
+	switch {
+	case fields["_marker"] == "Starting":
+		m.Kind = KindStarting
+		m.User = fields["user"]
+		m.JobID = fields["batch_id"]
+		m.Cmd = fields["cmd"]
+		if m.Width, err = atoiField(fields, "width"); err != nil {
+			return m, err
+		}
+		numNodes, err := atoiField(fields, "num_nodes")
+		if err != nil {
+			return m, err
+		}
+		m.Nodes, err = ParseNIDList(fields["node_list"])
+		if err != nil {
+			return m, err
+		}
+		if len(m.Nodes) != numNodes {
+			return m, fmt.Errorf("alps: apid %d claims %d nodes but lists %d", apid, numNodes, len(m.Nodes))
+		}
+	case fields["_marker"] == "Finishing":
+		m.Kind = KindFinishing
+		if m.ExitCode, err = atoiField(fields, "exit_code"); err != nil {
+			return m, err
+		}
+		if m.Signal, err = atoiField(fields, "signal"); err != nil {
+			return m, err
+		}
+		if m.NodeCnt, err = atoiField(fields, "node_cnt"); err != nil {
+			return m, err
+		}
+	default:
+		m.Kind = KindUnknown
+	}
+	return m, nil
+}
+
+// splitFields parses "k=v, k=v, Marker, k=v" bodies. Bare words (no '=')
+// are collected under the "_marker" pseudo-key; the last one wins.
+func splitFields(body string) (map[string]string, error) {
+	fields := make(map[string]string, 8)
+	for _, part := range strings.Split(body, ", ") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if k, v, ok := strings.Cut(part, "="); ok {
+			if k == "" {
+				return nil, fmt.Errorf("alps: empty key in %q", body)
+			}
+			fields[k] = v
+		} else {
+			fields["_marker"] = part
+		}
+	}
+	return fields, nil
+}
+
+func atoiField(fields map[string]string, key string) (int, error) {
+	v, ok := fields[key]
+	if !ok {
+		return 0, fmt.Errorf("alps: missing field %q", key)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("alps: field %s=%q not a number", key, v)
+	}
+	return n, nil
+}
+
+// Assembler pairs Starting/Finishing messages into AppRun records.
+type Assembler struct {
+	open      map[uint64]*AppRun
+	done      []AppRun
+	unmatched int
+}
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{open: make(map[uint64]*AppRun)}
+}
+
+// Add folds one timestamped apsys message into the assembler.
+func (a *Assembler) Add(at time.Time, m Message) error {
+	switch m.Kind {
+	case KindStarting:
+		if _, dup := a.open[m.ApID]; dup {
+			return fmt.Errorf("alps: duplicate Starting for apid %d", m.ApID)
+		}
+		a.open[m.ApID] = &AppRun{
+			ApID:  m.ApID,
+			JobID: m.JobID,
+			User:  m.User,
+			Cmd:   m.Cmd,
+			Width: m.Width,
+			Nodes: m.Nodes,
+			Start: at,
+		}
+	case KindFinishing:
+		run, ok := a.open[m.ApID]
+		if !ok {
+			a.unmatched++
+			return nil // exit without a start: archive truncation, tolerated
+		}
+		delete(a.open, m.ApID)
+		run.End = at
+		run.ExitCode = m.ExitCode
+		run.Signal = m.Signal
+		a.done = append(a.done, *run)
+	case KindUnknown:
+		// apsys chatter; ignore.
+	default:
+		return fmt.Errorf("alps: unknown message kind %d", m.Kind)
+	}
+	return nil
+}
+
+// Runs returns completed runs sorted by start time then apid. Runs still
+// open (no Finishing seen) are not included; see Open.
+func (a *Assembler) Runs() []AppRun {
+	out := make([]AppRun, len(a.done))
+	copy(out, a.done)
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].ApID < out[j].ApID
+	})
+	return out
+}
+
+// Open returns the number of runs with a Starting record but no Finishing
+// record (still running at the end of the archive, or lost records).
+func (a *Assembler) Open() int { return len(a.open) }
+
+// Unmatched returns the number of Finishing records with no Starting record.
+func (a *Assembler) Unmatched() int { return a.unmatched }

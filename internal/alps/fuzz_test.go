@@ -1,0 +1,59 @@
+package alps
+
+import "testing"
+
+// FuzzParseNIDList checks the range-notation parser never panics, and that
+// accepted lists round-trip through FormatNIDList.
+func FuzzParseNIDList(f *testing.F) {
+	for _, seed := range []string{
+		"", "5", "1-3", "1-3,7,9-10", "0-0", "3-1", "x", "1,,2", "9999999-0",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ids, err := ParseNIDList(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseNIDList(FormatNIDList(ids))
+		if err != nil {
+			t.Fatalf("accepted %q but reformatted list failed: %v", s, err)
+		}
+		if len(back) != len(ids) {
+			t.Fatalf("round trip length %d != %d for %q", len(back), len(ids), s)
+		}
+		for i := range ids {
+			if back[i] != ids[i] {
+				t.Fatalf("round trip element %d: %d != %d for %q", i, back[i], ids[i], s)
+			}
+		}
+	})
+}
+
+// FuzzParseMessage checks the apsys message parser never panics.
+func FuzzParseMessage(f *testing.F) {
+	for _, seed := range []string{
+		"apid=456789, Starting, user=alice, batch_id=1.bw, cmd=vasp, width=16, num_nodes=2, node_list=0-1",
+		"apid=456789, Finishing, exit_code=0, signal=0, node_cnt=2",
+		"apsys chatter without equals",
+		"apid=, Starting", "=bad", "", "apid=1, Starting",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseMessage(s)
+		if err != nil {
+			return
+		}
+		switch m.Kind {
+		case KindStarting:
+			if len(m.Nodes) == 0 && m.Width < 0 {
+				t.Fatalf("accepted Starting with no placement: %q", s)
+			}
+		case KindFinishing, KindUnknown:
+			// nothing further to check
+		default:
+			t.Fatalf("impossible kind %d for %q", m.Kind, s)
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package alps
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"logdiver/internal/machine"
+)
+
+// FormatNIDList renders a node-ID set in the compact range notation ALPS
+// uses in its logs, e.g. "12-27,100,102-110". The input need not be sorted;
+// duplicates are collapsed. An empty input renders as "".
+func FormatNIDList(ids []machine.NodeID) string {
+	if len(ids) == 0 {
+		return ""
+	}
+	sorted := make([]machine.NodeID, len(ids))
+	copy(sorted, ids)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	var b strings.Builder
+	b.Grow(len(sorted) * 4)
+	writeRange := func(lo, hi machine.NodeID) {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(lo)))
+		if hi > lo {
+			b.WriteByte('-')
+			b.WriteString(strconv.Itoa(int(hi)))
+		}
+	}
+	lo := sorted[0]
+	hi := sorted[0]
+	for _, id := range sorted[1:] {
+		switch {
+		case id == hi || id == hi+1:
+			if id == hi+1 {
+				hi = id
+			}
+		default:
+			writeRange(lo, hi)
+			lo, hi = id, id
+		}
+	}
+	writeRange(lo, hi)
+	return b.String()
+}
+
+// ParseNIDList parses the compact range notation produced by FormatNIDList.
+// It returns node IDs in ascending order. An empty string yields nil.
+func ParseNIDList(s string) ([]machine.NodeID, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []machine.NodeID
+	for _, part := range strings.Split(s, ",") {
+		loStr, hiStr, isRange := strings.Cut(part, "-")
+		lo, err := strconv.Atoi(loStr)
+		if err != nil || lo < 0 {
+			return nil, fmt.Errorf("alps: bad nid %q in list %q", part, s)
+		}
+		hi := lo
+		if isRange {
+			hi, err = strconv.Atoi(hiStr)
+			if err != nil || hi < lo {
+				return nil, fmt.Errorf("alps: bad nid range %q in list %q", part, s)
+			}
+		}
+		if hi-lo > 1<<22 {
+			return nil, fmt.Errorf("alps: nid range %q implausibly large", part)
+		}
+		for id := lo; id <= hi; id++ {
+			out = append(out, machine.NodeID(id))
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] <= out[i-1] {
+			return nil, fmt.Errorf("alps: nid list %q not strictly ascending", s)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,200 @@
+// Package avail reconstructs node availability from the error log: a node
+// goes down at a fatal node-scoped event (heartbeat loss, kernel panic,
+// uncorrected hardware error, blade or link-pair failure) and returns to
+// service at the next NodeRecovered record. From the reconstructed
+// down-intervals the package derives the machine-availability measures of
+// a field study: node failure counts, the repair-time (MTTR) distribution,
+// aggregate machine availability, and the worst offenders.
+package avail
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"logdiver/internal/errlog"
+	"logdiver/internal/machine"
+	"logdiver/internal/taxonomy"
+)
+
+// Downtime is one reconstructed outage of a node.
+type Downtime struct {
+	Node machine.NodeID
+	// Cause is the category of the event that took the node down.
+	Cause taxonomy.Category
+	// From is the death instant; To the recovery instant. Open outages
+	// (no recovery before the end of the observation window) have
+	// To equal to the window end and Open set.
+	From, To time.Time
+	Open     bool
+}
+
+// Duration returns the outage length.
+func (d Downtime) Duration() time.Duration { return d.To.Sub(d.From) }
+
+// fatalNodeEvent reports whether an event takes its node down.
+func fatalNodeEvent(e errlog.Event) bool {
+	if e.IsSystemWide() {
+		return false
+	}
+	switch e.Category {
+	case taxonomy.HardwareMemoryUE, taxonomy.HardwareCPU, taxonomy.HardwarePower,
+		taxonomy.HardwareBlade, taxonomy.KernelPanic, taxonomy.NodeHeartbeat,
+		taxonomy.InterconnectLink:
+		return true
+	default:
+		return false
+	}
+}
+
+// Reconstruct pairs death and recovery events into per-node outages. The
+// events need not be sorted. windowEnd closes outages that never recover.
+// A second death while a node is already down is folded into the open
+// outage (the HSS logs both the panic and the heartbeat loss of one
+// death); recoveries without a preceding death are ignored.
+func Reconstruct(events []errlog.Event, windowEnd time.Time) ([]Downtime, error) {
+	if windowEnd.IsZero() {
+		return nil, fmt.Errorf("avail: zero window end")
+	}
+	byNode := make(map[machine.NodeID][]errlog.Event)
+	for _, e := range events {
+		if e.IsSystemWide() {
+			continue
+		}
+		if fatalNodeEvent(e) || e.Category == taxonomy.NodeRecovered {
+			byNode[e.Node] = append(byNode[e.Node], e)
+		}
+	}
+	var out []Downtime
+	for node, evs := range byNode {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Time.Before(evs[j].Time) })
+		var open *Downtime
+		for _, e := range evs {
+			if e.Category == taxonomy.NodeRecovered {
+				if open != nil {
+					open.To = e.Time
+					out = append(out, *open)
+					open = nil
+				}
+				continue
+			}
+			if open == nil {
+				open = &Downtime{Node: node, Cause: e.Category, From: e.Time}
+			}
+			// Subsequent fatal records while down are the same death.
+		}
+		if open != nil {
+			open.To = windowEnd
+			open.Open = true
+			if open.To.Before(open.From) {
+				open.To = open.From
+			}
+			out = append(out, *open)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].From.Equal(out[j].From) {
+			return out[i].From.Before(out[j].From)
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out, nil
+}
+
+// Summary aggregates reconstructed outages over an observation window.
+type Summary struct {
+	// Nodes is the machine's compute-node count; WindowHours the span.
+	Nodes       int
+	WindowHours float64
+	// Failures is the number of outages; OpenFailures those unresolved.
+	Failures     int
+	OpenFailures int
+	// DistinctNodes counts nodes with at least one outage.
+	DistinctNodes int
+	// DowntimeHours is total node-hours of downtime.
+	DowntimeHours float64
+	// MTTRHours is the mean repair time of *closed* outages.
+	MTTRHours float64
+	// Availability is 1 - downtime/(nodes * window).
+	Availability float64
+	// MTBFNodeHours is node-hours of operation per failure.
+	MTBFNodeHours float64
+}
+
+// Summarize computes the availability summary for a machine with the given
+// compute-node count over [windowStart, windowEnd].
+func Summarize(downs []Downtime, nodes int, windowStart, windowEnd time.Time) (Summary, error) {
+	if nodes <= 0 {
+		return Summary{}, fmt.Errorf("avail: node count %d must be positive", nodes)
+	}
+	if !windowEnd.After(windowStart) {
+		return Summary{}, fmt.Errorf("avail: empty window")
+	}
+	s := Summary{
+		Nodes:       nodes,
+		WindowHours: windowEnd.Sub(windowStart).Hours(),
+	}
+	seen := make(map[machine.NodeID]bool)
+	var repairSum float64
+	var repaired int
+	for _, d := range downs {
+		s.Failures++
+		if d.Open {
+			s.OpenFailures++
+		} else {
+			repairSum += d.Duration().Hours()
+			repaired++
+		}
+		if !seen[d.Node] {
+			seen[d.Node] = true
+		}
+		s.DowntimeHours += d.Duration().Hours()
+	}
+	s.DistinctNodes = len(seen)
+	if repaired > 0 {
+		s.MTTRHours = repairSum / float64(repaired)
+	}
+	capacity := float64(nodes) * s.WindowHours
+	s.Availability = 1 - s.DowntimeHours/capacity
+	if s.Failures > 0 {
+		s.MTBFNodeHours = capacity / float64(s.Failures)
+	}
+	return s, nil
+}
+
+// RepairTimes extracts the repair durations (hours) of closed outages for
+// distribution fitting.
+func RepairTimes(downs []Downtime) []float64 {
+	out := make([]float64, 0, len(downs))
+	for _, d := range downs {
+		if !d.Open {
+			out = append(out, d.Duration().Hours())
+		}
+	}
+	return out
+}
+
+// ByCause counts outages per causing category, descending.
+type CauseCount struct {
+	Cause taxonomy.Category
+	Count int
+}
+
+// CausesOf tallies outages by cause.
+func CausesOf(downs []Downtime) []CauseCount {
+	m := make(map[taxonomy.Category]int)
+	for _, d := range downs {
+		m[d.Cause]++
+	}
+	out := make([]CauseCount, 0, len(m))
+	for c, n := range m {
+		out = append(out, CauseCount{Cause: c, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Cause < out[j].Cause
+	})
+	return out
+}

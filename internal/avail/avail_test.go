@@ -1,0 +1,200 @@
+package avail
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"logdiver/internal/errlog"
+	"logdiver/internal/machine"
+	"logdiver/internal/taxonomy"
+)
+
+var (
+	base = time.Date(2013, 4, 1, 0, 0, 0, 0, time.UTC)
+	end  = base.Add(10 * 24 * time.Hour)
+)
+
+func ev(node int, offset time.Duration, cat taxonomy.Category) errlog.Event {
+	return errlog.Event{
+		Time:     base.Add(offset),
+		Node:     machine.NodeID(node),
+		Category: cat,
+		Severity: taxonomy.SevCritical,
+	}
+}
+
+func TestReconstructSimplePair(t *testing.T) {
+	events := []errlog.Event{
+		ev(3, 2*time.Hour, taxonomy.NodeHeartbeat),
+		ev(3, 4*time.Hour, taxonomy.NodeRecovered),
+	}
+	downs, err := Reconstruct(events, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(downs) != 1 {
+		t.Fatalf("got %d outages, want 1", len(downs))
+	}
+	d := downs[0]
+	if d.Node != 3 || d.Cause != taxonomy.NodeHeartbeat || d.Open {
+		t.Errorf("outage: %+v", d)
+	}
+	if d.Duration() != 2*time.Hour {
+		t.Errorf("Duration = %v, want 2h", d.Duration())
+	}
+}
+
+func TestReconstructOpenOutage(t *testing.T) {
+	events := []errlog.Event{ev(3, 9*24*time.Hour, taxonomy.KernelPanic)}
+	downs, err := Reconstruct(events, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(downs) != 1 || !downs[0].Open {
+		t.Fatalf("got %+v, want one open outage", downs)
+	}
+	if !downs[0].To.Equal(end) {
+		t.Errorf("open outage To = %v, want window end", downs[0].To)
+	}
+}
+
+func TestReconstructFoldsDoubleDeathRecords(t *testing.T) {
+	// A panic followed by the heartbeat alert of the same death.
+	events := []errlog.Event{
+		ev(7, time.Hour, taxonomy.KernelPanic),
+		ev(7, time.Hour+time.Minute, taxonomy.NodeHeartbeat),
+		ev(7, 3*time.Hour, taxonomy.NodeRecovered),
+	}
+	downs, err := Reconstruct(events, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(downs) != 1 {
+		t.Fatalf("got %d outages, want 1 (records folded)", len(downs))
+	}
+	if downs[0].Cause != taxonomy.KernelPanic {
+		t.Errorf("Cause = %v, want the first record's category", downs[0].Cause)
+	}
+}
+
+func TestReconstructMultipleOutagesPerNode(t *testing.T) {
+	events := []errlog.Event{
+		ev(1, 1*time.Hour, taxonomy.HardwareMemoryUE),
+		ev(1, 2*time.Hour, taxonomy.NodeRecovered),
+		ev(1, 50*time.Hour, taxonomy.HardwareBlade),
+		ev(1, 55*time.Hour, taxonomy.NodeRecovered),
+	}
+	downs, err := Reconstruct(events, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(downs) != 2 {
+		t.Fatalf("got %d outages, want 2", len(downs))
+	}
+	if downs[0].Duration() != time.Hour || downs[1].Duration() != 5*time.Hour {
+		t.Errorf("durations: %v, %v", downs[0].Duration(), downs[1].Duration())
+	}
+}
+
+func TestReconstructIgnoresNoise(t *testing.T) {
+	sys := ev(0, time.Hour, taxonomy.FilesystemLBUG)
+	sys.Node = errlog.SystemWide
+	events := []errlog.Event{
+		sys,
+		ev(2, 2*time.Hour, taxonomy.HardwareMemoryCE), // benign, not fatal
+		ev(2, 3*time.Hour, taxonomy.NodeRecovered),    // recovery without death
+	}
+	downs, err := Reconstruct(events, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(downs) != 0 {
+		t.Errorf("got %+v, want none", downs)
+	}
+}
+
+func TestReconstructErrors(t *testing.T) {
+	if _, err := Reconstruct(nil, time.Time{}); err == nil {
+		t.Error("zero window end accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	events := []errlog.Event{
+		ev(1, 0, taxonomy.NodeHeartbeat),
+		ev(1, 10*time.Hour, taxonomy.NodeRecovered),
+		ev(2, 0, taxonomy.KernelPanic),
+		ev(2, 30*time.Hour, taxonomy.NodeRecovered),
+		ev(3, 9*24*time.Hour, taxonomy.HardwareMemoryUE), // open, 24h to window end
+	}
+	downs, err := Reconstruct(events, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Summarize(downs, 100, base, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Failures != 3 || s.OpenFailures != 1 || s.DistinctNodes != 3 {
+		t.Errorf("summary: %+v", s)
+	}
+	if math.Abs(s.MTTRHours-20) > 1e-9 { // (10+30)/2
+		t.Errorf("MTTR = %v, want 20", s.MTTRHours)
+	}
+	wantDowntime := 10.0 + 30 + 24
+	if math.Abs(s.DowntimeHours-wantDowntime) > 1e-9 {
+		t.Errorf("Downtime = %v, want %v", s.DowntimeHours, wantDowntime)
+	}
+	capacity := 100.0 * 240
+	if math.Abs(s.Availability-(1-wantDowntime/capacity)) > 1e-12 {
+		t.Errorf("Availability = %v", s.Availability)
+	}
+	if math.Abs(s.MTBFNodeHours-capacity/3) > 1e-9 {
+		t.Errorf("MTBF = %v", s.MTBFNodeHours)
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	if _, err := Summarize(nil, 0, base, end); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := Summarize(nil, 10, end, base); err == nil {
+		t.Error("inverted window accepted")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s, err := Summarize(nil, 10, base, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Availability != 1 || s.Failures != 0 || s.MTBFNodeHours != 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+}
+
+func TestRepairTimesAndCauses(t *testing.T) {
+	events := []errlog.Event{
+		ev(1, 0, taxonomy.NodeHeartbeat),
+		ev(1, 2*time.Hour, taxonomy.NodeRecovered),
+		ev(2, 0, taxonomy.NodeHeartbeat),
+		ev(2, 4*time.Hour, taxonomy.NodeRecovered),
+		ev(3, 0, taxonomy.KernelPanic), // open
+	}
+	downs, err := Reconstruct(events, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := RepairTimes(downs)
+	if len(times) != 2 {
+		t.Fatalf("RepairTimes = %v", times)
+	}
+	causes := CausesOf(downs)
+	if len(causes) != 2 {
+		t.Fatalf("CausesOf = %+v", causes)
+	}
+	if causes[0].Cause != taxonomy.NodeHeartbeat || causes[0].Count != 2 {
+		t.Errorf("top cause: %+v", causes[0])
+	}
+}

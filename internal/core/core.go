@@ -1,0 +1,270 @@
+// Package core implements the LogDiver pipeline: ingesting the three raw
+// archives (workload accounting, ALPS application logs, syslog error logs),
+// classifying and coalescing error records, joining errors to application
+// runs, and attributing every run's outcome. This is the orchestration layer
+// the study's measurements flow through; the statistical post-processing
+// lives in internal/metrics.
+package core
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"logdiver/internal/alps"
+	"logdiver/internal/coalesce"
+	"logdiver/internal/correlate"
+	"logdiver/internal/errlog"
+	"logdiver/internal/interval"
+	"logdiver/internal/machine"
+	"logdiver/internal/syslogx"
+	"logdiver/internal/taxonomy"
+	"logdiver/internal/wlm"
+)
+
+// Archives bundles the three raw log sources of the study.
+type Archives struct {
+	// Accounting is the Torque-style job accounting archive.
+	Accounting io.Reader
+	// Apsys is the ALPS application log (syslog lines with the apsys tag).
+	Apsys io.Reader
+	// Syslog is the system error log archive.
+	Syslog io.Reader
+	// Location interprets accounting timestamps (UTC when nil).
+	Location *time.Location
+}
+
+// Options tunes the pipeline. The zero value selects the study defaults.
+type Options struct {
+	// Correlate configures the attribution join. Zero value: defaults.
+	Correlate correlate.Config
+	// TemporalWindow and SpatialWindow configure coalescing; zero values
+	// select the package defaults.
+	TemporalWindow time.Duration
+	SpatialWindow  time.Duration
+	// Classifier overrides the default taxonomy classifier.
+	Classifier *taxonomy.Classifier
+	// Parallelism bounds the attribution worker count; 0 selects
+	// runtime.GOMAXPROCS(0).
+	Parallelism int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Correlate.EvidenceWindow == 0 && o.Correlate.PostWindow == 0 {
+		jobs := o.Correlate.Jobs
+		temporal := o.Correlate.TemporalOnly
+		o.Correlate = correlate.DefaultConfig()
+		o.Correlate.Jobs = jobs
+		o.Correlate.TemporalOnly = temporal
+	}
+	if o.TemporalWindow == 0 {
+		o.TemporalWindow = coalesce.DefaultTemporalWindow
+	}
+	if o.SpatialWindow == 0 {
+		o.SpatialWindow = coalesce.DefaultSpatialWindow
+	}
+	if o.Classifier == nil {
+		o.Classifier = taxonomy.Default()
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// ParseStats reports archive hygiene: how much of the raw input was usable.
+type ParseStats struct {
+	// AccountingRecords and AccountingMalformed count accounting lines.
+	AccountingRecords, AccountingMalformed int
+	// ApsysLines and ApsysMalformed count ALPS log lines; OpenRuns and
+	// UnmatchedExits count pairing anomalies.
+	ApsysLines, ApsysMalformed int
+	OpenRuns, UnmatchedExits   int
+	// SyslogLines and SyslogMalformed count error-log lines;
+	// Unclassified counts parsed lines no taxonomy rule matched.
+	SyslogLines, SyslogMalformed int
+	Unclassified                 int
+}
+
+// Result is the complete pipeline output.
+type Result struct {
+	// Jobs are the assembled batch jobs, sorted by start time.
+	Jobs []wlm.Job
+	// Runs are the attributed application runs, in start order.
+	Runs []correlate.AttributedRun
+	// Events are the classified error events (deduplicated, time order).
+	Events []errlog.Event
+	// Tuples and Groups are the coalesced error episodes and
+	// machine-level events.
+	Tuples []coalesce.Tuple
+	Groups []coalesce.Group
+	// Coalesce reports the raw-to-group reduction.
+	Coalesce coalesce.Stats
+	// Parse reports archive hygiene.
+	Parse ParseStats
+	// Start and End bound the observed activity (earliest run start,
+	// latest run end; zero when there are no runs).
+	Start, End time.Time
+}
+
+// Analyze runs the full pipeline over raw archives.
+func Analyze(a Archives, top *machine.Topology, opts Options) (*Result, error) {
+	if top == nil {
+		return nil, fmt.Errorf("core: nil topology")
+	}
+	opts = opts.withDefaults()
+	res := &Result{}
+
+	jobs, err := readAccounting(a, res)
+	if err != nil {
+		return nil, err
+	}
+	res.Jobs = jobs
+
+	runs, err := readApsys(a, res)
+	if err != nil {
+		return nil, err
+	}
+
+	events, err := readSyslog(a, top, opts.Classifier, res)
+	if err != nil {
+		return nil, err
+	}
+
+	return finish(res, runs, events, top, opts)
+}
+
+// AnalyzeParsed runs the pipeline over already-parsed inputs (the in-memory
+// path used by experiments that skip archive serialization).
+func AnalyzeParsed(jobs []wlm.Job, runs []alps.AppRun, events []errlog.Event, top *machine.Topology, opts Options) (*Result, error) {
+	if top == nil {
+		return nil, fmt.Errorf("core: nil topology")
+	}
+	opts = opts.withDefaults()
+	res := &Result{Jobs: jobs}
+	return finish(res, runs, events, top, opts)
+}
+
+func finish(res *Result, runs []alps.AppRun, events []errlog.Event, top *machine.Topology, opts Options) (*Result, error) {
+	workers := opts.Parallelism
+	// Preprocess: dedup then coalesce. Attribution uses the deduplicated
+	// event stream; the tuples/groups feed the coalescing experiments.
+	deduped := coalesce.Dedup(events)
+	res.Events = deduped
+	res.Tuples = coalesce.Tuples(deduped, opts.TemporalWindow)
+	res.Groups = coalesce.Spatial(res.Tuples, opts.SpatialWindow)
+	res.Coalesce = coalesce.Stats{
+		Raw:     len(events),
+		Deduped: len(deduped),
+		Tuples:  len(res.Tuples),
+		Groups:  len(res.Groups),
+	}
+
+	// Join.
+	cfg := opts.Correlate
+	if cfg.Jobs == nil && len(res.Jobs) > 0 {
+		cfg.Jobs = make(map[string]wlm.Job, len(res.Jobs))
+		for _, j := range res.Jobs {
+			cfg.Jobs[j.ID] = j
+		}
+	}
+	corr, err := correlate.New(interval.NewIndex(deduped), top, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Runs = corr.AttributeAllParallel(runs, workers)
+
+	for _, r := range res.Runs {
+		if res.Start.IsZero() || r.Start.Before(res.Start) {
+			res.Start = r.Start
+		}
+		if r.End.After(res.End) {
+			res.End = r.End
+		}
+	}
+	return res, nil
+}
+
+func readAccounting(a Archives, res *Result) ([]wlm.Job, error) {
+	if a.Accounting == nil {
+		return nil, nil
+	}
+	sc := wlm.NewScanner(a.Accounting, a.Location)
+	asm := wlm.NewAssembler()
+	for sc.Scan() {
+		res.Parse.AccountingRecords++
+		if err := asm.Add(sc.Record()); err != nil {
+			return nil, fmt.Errorf("core: accounting: %w", err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("core: accounting: %w", err)
+	}
+	res.Parse.AccountingMalformed = sc.Malformed()
+	return asm.Jobs(), nil
+}
+
+func readApsys(a Archives, res *Result) ([]alps.AppRun, error) {
+	if a.Apsys == nil {
+		return nil, nil
+	}
+	sc := syslogx.NewScanner(a.Apsys)
+	asm := alps.NewAssembler()
+	for sc.Scan() {
+		line := sc.Line()
+		res.Parse.ApsysLines++
+		if line.Tag != alps.Tag {
+			continue
+		}
+		m, err := alps.ParseMessage(line.Message)
+		if err != nil {
+			res.Parse.ApsysMalformed++
+			continue
+		}
+		if err := asm.Add(line.Time, m); err != nil {
+			return nil, fmt.Errorf("core: apsys: %w", err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("core: apsys: %w", err)
+	}
+	res.Parse.ApsysMalformed += sc.Malformed()
+	res.Parse.OpenRuns = asm.Open()
+	res.Parse.UnmatchedExits = asm.Unmatched()
+	return asm.Runs(), nil
+}
+
+func readSyslog(a Archives, top *machine.Topology, cls *taxonomy.Classifier, res *Result) ([]errlog.Event, error) {
+	if a.Syslog == nil {
+		return nil, nil
+	}
+	sc := syslogx.NewScanner(a.Syslog)
+	var events []errlog.Event
+	for sc.Scan() {
+		line := sc.Line()
+		res.Parse.SyslogLines++
+		cat, sev := cls.Classify(line.Message)
+		if cat == taxonomy.Unclassified {
+			res.Parse.Unclassified++
+			continue
+		}
+		node := errlog.SystemWide
+		if id, err := top.LookupString(line.Host); err == nil {
+			node = id
+		}
+		events = append(events, errlog.Event{
+			Time:     line.Time,
+			Node:     node,
+			Cname:    line.Host,
+			Category: cat,
+			Severity: sev,
+			Message:  line.Message,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("core: syslog: %w", err)
+	}
+	res.Parse.SyslogMalformed = sc.Malformed()
+	return events, nil
+}

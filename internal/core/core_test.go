@@ -1,0 +1,254 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"logdiver/internal/correlate"
+	"logdiver/internal/gen"
+	"logdiver/internal/machine"
+	"logdiver/internal/taxonomy"
+)
+
+var testDatasetCache *gen.Dataset
+
+// testDataset generates (once) a small synthetic archive for pipeline tests.
+func testDataset(t *testing.T) *gen.Dataset {
+	t.Helper()
+	if testDatasetCache != nil {
+		return testDatasetCache
+	}
+	cfg := gen.Default()
+	cfg.Machine = machine.Small()
+	cfg.Days = 3
+	cfg.Seed = 7
+	cfg.Workload.JobsPerDay = 300
+	cfg.Workload.XECapabilityJobsPerDay = 2
+	cfg.Workload.XKCapabilityJobsPerDay = 1
+	cfg.Workload.XECapabilitySizes = []int{256, 512}
+	cfg.Workload.XKCapabilitySizes = []int{64, 160}
+	cfg.Workload.FullScaleKneeXE = 512
+	cfg.Workload.FullScaleKneeXK = 160
+	cfg.Workload.SmallSizeMax = 96
+	cfg.Rates.NodeFatalPerNodeHour *= 20
+	cfg.Rates.NodeBenignPerNodeHour *= 20
+	cfg.Rates.GPUFatalPerNodeHour *= 100
+	ds, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testDatasetCache = ds
+	return ds
+}
+
+// archivesFor serializes a dataset into in-memory archives.
+func archivesFor(t *testing.T, ds *gen.Dataset) Archives {
+	t.Helper()
+	var acc, aps, sys strings.Builder
+	if err := ds.WriteAccounting(&acc); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteApsys(&aps); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteErrorLog(&sys); err != nil {
+		t.Fatal(err)
+	}
+	return Archives{
+		Accounting: strings.NewReader(acc.String()),
+		Apsys:      strings.NewReader(aps.String()),
+		Syslog:     strings.NewReader(sys.String()),
+		Location:   time.UTC,
+	}
+}
+
+func TestAnalyzeEndToEnd(t *testing.T) {
+	ds := testDataset(t)
+	res, err := Analyze(archivesFor(t, ds), ds.Topology, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != len(ds.Jobs) {
+		t.Errorf("jobs: got %d, want %d", len(res.Jobs), len(ds.Jobs))
+	}
+	if len(res.Runs) != len(ds.Runs) {
+		t.Errorf("runs: got %d, want %d", len(res.Runs), len(ds.Runs))
+	}
+	if res.Parse.AccountingMalformed != 0 {
+		t.Errorf("accounting malformed: %d", res.Parse.AccountingMalformed)
+	}
+	if res.Parse.ApsysMalformed != 0 {
+		t.Errorf("apsys malformed: %d", res.Parse.ApsysMalformed)
+	}
+	if res.Parse.SyslogMalformed == 0 {
+		t.Error("expected injected malformed syslog lines to be counted")
+	}
+	if res.Parse.Unclassified != 0 {
+		t.Errorf("unclassified: %d", res.Parse.Unclassified)
+	}
+	// Dedup must remove the injected duplicates.
+	if res.Coalesce.Deduped != len(ds.Events) {
+		t.Errorf("deduped events: got %d, want %d", res.Coalesce.Deduped, len(ds.Events))
+	}
+	if res.Coalesce.Raw <= res.Coalesce.Deduped {
+		t.Error("raw events should exceed deduped (duplicates injected)")
+	}
+	if len(res.Tuples) == 0 || len(res.Groups) == 0 {
+		t.Error("coalescing produced nothing")
+	}
+	if res.Start.IsZero() || !res.End.After(res.Start) {
+		t.Errorf("span [%v,%v] broken", res.Start, res.End)
+	}
+
+	// Outcomes must cover all four classes on this workload.
+	counts := map[correlate.Outcome]int{}
+	for _, r := range res.Runs {
+		counts[r.Outcome]++
+	}
+	for _, o := range []correlate.Outcome{
+		correlate.OutcomeSuccess, correlate.OutcomeUserFailure,
+		correlate.OutcomeWalltime, correlate.OutcomeSystemFailure,
+	} {
+		if counts[o] == 0 {
+			t.Errorf("no runs with outcome %v", o)
+		}
+	}
+}
+
+// TestAnalyzeMatchesInMemoryPath verifies the parse path and the in-memory
+// path agree run for run: serialization loses nothing that matters.
+func TestAnalyzeMatchesInMemoryPath(t *testing.T) {
+	ds := testDataset(t)
+	fromText, err := Analyze(archivesFor(t, ds), ds.Topology, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromMem, err := AnalyzeParsed(ds.Jobs, ds.Runs, ds.Events, ds.Topology, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromText.Runs) != len(fromMem.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(fromText.Runs), len(fromMem.Runs))
+	}
+	for i := range fromText.Runs {
+		a, b := fromText.Runs[i], fromMem.Runs[i]
+		if a.ApID != b.ApID {
+			t.Fatalf("run %d apid %d vs %d", i, a.ApID, b.ApID)
+		}
+		if a.Outcome != b.Outcome {
+			t.Fatalf("apid %d outcome %v (text) vs %v (mem)", a.ApID, a.Outcome, b.Outcome)
+		}
+		if a.Outcome == correlate.OutcomeSystemFailure && a.Cause != b.Cause {
+			t.Fatalf("apid %d cause %v vs %v", a.ApID, a.Cause, b.Cause)
+		}
+	}
+}
+
+func TestAnalyzeAttributionAgainstTruth(t *testing.T) {
+	ds := testDataset(t)
+	res, err := AnalyzeParsed(ds.Jobs, ds.Runs, ds.Events, ds.Topology, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trueSys, detectedTrueSys, attributed, correct int
+	for _, r := range res.Runs {
+		truth := ds.Truth[r.ApID]
+		if truth.Outcome == correlate.OutcomeSystemFailure {
+			trueSys++
+			if truth.Detected {
+				detectedTrueSys++
+			}
+		}
+		if r.Outcome == correlate.OutcomeSystemFailure {
+			attributed++
+			if truth.Outcome == correlate.OutcomeSystemFailure {
+				correct++
+			}
+		}
+	}
+	if trueSys == 0 {
+		t.Fatal("no true system failures in dataset")
+	}
+	// Attribution must recover the large majority of *detectable* system
+	// failures and stay mostly correct.
+	recall := float64(correct) / float64(trueSys)
+	if detectedTrueSys > 0 {
+		detRecall := float64(correct) / float64(detectedTrueSys)
+		if detRecall < 0.8 {
+			t.Errorf("recall of detectable system failures = %.2f, want >= 0.8", detRecall)
+		}
+	}
+	precision := float64(correct) / float64(attributed)
+	if precision < 0.7 {
+		t.Errorf("attribution precision = %.2f, want >= 0.7", precision)
+	}
+	if recall < 0.4 {
+		t.Errorf("overall recall = %.2f implausibly low", recall)
+	}
+}
+
+func TestAnalyzeNilTopology(t *testing.T) {
+	if _, err := Analyze(Archives{}, nil, Options{}); err == nil {
+		t.Error("nil topology accepted")
+	}
+	if _, err := AnalyzeParsed(nil, nil, nil, nil, Options{}); err == nil {
+		t.Error("nil topology accepted (parsed path)")
+	}
+}
+
+func TestAnalyzeEmptyArchives(t *testing.T) {
+	top, err := machine.New(machine.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(Archives{}, top, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 0 || len(res.Jobs) != 0 || len(res.Events) != 0 {
+		t.Errorf("empty archives produced data: %+v", res.Parse)
+	}
+}
+
+func TestAnalyzeGarbageArchives(t *testing.T) {
+	top, err := machine.New(machine.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(Archives{
+		Accounting: strings.NewReader("complete\ngarbage\n"),
+		Apsys:      strings.NewReader("more garbage\n"),
+		Syslog:     strings.NewReader("even more\n"),
+	}, top, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parse.AccountingMalformed != 2 {
+		t.Errorf("accounting malformed = %d, want 2", res.Parse.AccountingMalformed)
+	}
+	if len(res.Runs) != 0 {
+		t.Error("garbage produced runs")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Classifier == nil {
+		t.Error("no default classifier")
+	}
+	if o.TemporalWindow == 0 || o.SpatialWindow == 0 {
+		t.Error("no default windows")
+	}
+	if o.Correlate.EvidenceWindow == 0 {
+		t.Error("no default correlate config")
+	}
+	// Explicit options survive.
+	custom := Options{
+		TemporalWindow: time.Minute,
+		Classifier:     taxonomy.NewClassifier(nil),
+	}.withDefaults()
+	if custom.TemporalWindow != time.Minute {
+		t.Error("explicit temporal window overridden")
+	}
+}

@@ -1,0 +1,224 @@
+package core
+
+// Failure-injection tests: real archives are truncated, reordered and
+// corrupted; the pipeline must degrade gracefully and report what it
+// skipped rather than abort or silently invent data.
+
+import (
+	"strings"
+	"testing"
+
+	"logdiver/internal/correlate"
+)
+
+// truncate cuts the final fraction of an archive's lines, simulating a
+// collection outage at the end of the measurement window.
+func truncateLines(s string, keepFraction float64) string {
+	lines := strings.Split(s, "\n")
+	keep := int(float64(len(lines)) * keepFraction)
+	if keep < 1 {
+		keep = 1
+	}
+	return strings.Join(lines[:keep], "\n")
+}
+
+func TestTruncatedApsysArchive(t *testing.T) {
+	ds := testDataset(t)
+	var aps strings.Builder
+	if err := ds.WriteApsys(&aps); err != nil {
+		t.Fatal(err)
+	}
+	cut := truncateLines(aps.String(), 0.6)
+	res, err := Analyze(Archives{Apsys: strings.NewReader(cut)}, ds.Topology, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) == 0 {
+		t.Fatal("no runs recovered from truncated archive")
+	}
+	if len(res.Runs) >= len(ds.Runs) {
+		t.Errorf("truncation lost nothing? %d vs %d", len(res.Runs), len(ds.Runs))
+	}
+	// Starts without finishes must be accounted, not silently dropped.
+	if res.Parse.OpenRuns == 0 {
+		t.Error("truncated archive reported no open runs")
+	}
+}
+
+func TestApsysArchiveMissingHead(t *testing.T) {
+	ds := testDataset(t)
+	var aps strings.Builder
+	if err := ds.WriteApsys(&aps); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(aps.String(), "\n")
+	tail := strings.Join(lines[len(lines)/2:], "\n")
+	res, err := Analyze(Archives{Apsys: strings.NewReader(tail)}, ds.Topology, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Finishing records whose Starting was lost must be counted as
+	// unmatched exits.
+	if res.Parse.UnmatchedExits == 0 {
+		t.Error("no unmatched exits reported for archive missing its head")
+	}
+}
+
+func TestCorruptedLinesInterleaved(t *testing.T) {
+	ds := testDataset(t)
+	var aps strings.Builder
+	if err := ds.WriteApsys(&aps); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt every 10th line.
+	lines := strings.Split(strings.TrimRight(aps.String(), "\n"), "\n")
+	var corrupted int
+	for i := range lines {
+		if i%10 == 3 {
+			lines[i] = lines[i][:len(lines[i])/4]
+			corrupted++
+		}
+	}
+	res, err := Analyze(Archives{
+		Apsys: strings.NewReader(strings.Join(lines, "\n")),
+	}, ds.Topology, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parse.ApsysMalformed == 0 {
+		t.Error("no malformed apsys lines counted")
+	}
+	if len(res.Runs) == 0 {
+		t.Fatal("corruption destroyed everything")
+	}
+	// At least the runs whose both records survived must be recovered:
+	// corrupting 10% of lines can kill at most ~20% of runs.
+	if float64(len(res.Runs)) < 0.7*float64(len(ds.Runs)) {
+		t.Errorf("recovered only %d of %d runs", len(res.Runs), len(ds.Runs))
+	}
+}
+
+func TestSyslogWithForeignNoise(t *testing.T) {
+	ds := testDataset(t)
+	var sys strings.Builder
+	if err := ds.WriteErrorLog(&sys); err != nil {
+		t.Fatal(err)
+	}
+	// Interleave foreign-but-well-formed lines (chatter from daemons the
+	// taxonomy does not know). They must parse, fail classification, be
+	// counted, and not influence attribution.
+	noise := "2013-04-01T10:00:00.000000Z c0-0c1s0n1 ntpd: clock step 0.3s\n"
+	input := noise + sys.String() + noise + noise
+	res, err := Analyze(Archives{Syslog: strings.NewReader(input)}, ds.Topology, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parse.Unclassified != 3 {
+		t.Errorf("Unclassified = %d, want 3", res.Parse.Unclassified)
+	}
+}
+
+func TestWindowsLineEndings(t *testing.T) {
+	ds := testDataset(t)
+	var aps strings.Builder
+	if err := ds.WriteApsys(&aps); err != nil {
+		t.Fatal(err)
+	}
+	crlf := strings.ReplaceAll(aps.String(), "\n", "\r\n")
+	res, err := Analyze(Archives{Apsys: strings.NewReader(crlf)}, ds.Topology, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != len(ds.Runs) {
+		t.Errorf("CRLF archive recovered %d of %d runs", len(res.Runs), len(ds.Runs))
+	}
+}
+
+func TestAttributionStableUnderEventReordering(t *testing.T) {
+	// The pipeline must not depend on archive line order: shuffle the
+	// syslog archive and verify identical attribution.
+	ds := testDataset(t)
+	var aps, sys strings.Builder
+	if err := ds.WriteApsys(&aps); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteErrorLog(&sys); err != nil {
+		t.Fatal(err)
+	}
+	straight, err := Analyze(Archives{
+		Apsys:  strings.NewReader(aps.String()),
+		Syslog: strings.NewReader(sys.String()),
+	}, ds.Topology, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimRight(sys.String(), "\n"), "\n")
+	// Deterministic reversal is as good as a shuffle for order independence.
+	for i, j := 0, len(lines)-1; i < j; i, j = i+1, j-1 {
+		lines[i], lines[j] = lines[j], lines[i]
+	}
+	reversed, err := Analyze(Archives{
+		Apsys:  strings.NewReader(aps.String()),
+		Syslog: strings.NewReader(strings.Join(lines, "\n")),
+	}, ds.Topology, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(straight.Runs) != len(reversed.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(straight.Runs), len(reversed.Runs))
+	}
+	for i := range straight.Runs {
+		a, b := straight.Runs[i], reversed.Runs[i]
+		if a.ApID != b.ApID || a.Outcome != b.Outcome {
+			t.Fatalf("apid %d: outcome %v vs %v under reordering", a.ApID, a.Outcome, b.Outcome)
+		}
+	}
+}
+
+func TestJobsFeedWalltimeDetection(t *testing.T) {
+	// With the accounting archive present, walltime kills are separated
+	// from user failures; without it they fold into USER.
+	ds := testDataset(t)
+	var acc, aps strings.Builder
+	if err := ds.WriteAccounting(&acc); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteApsys(&aps); err != nil {
+		t.Fatal(err)
+	}
+	with, err := Analyze(Archives{
+		Accounting: strings.NewReader(acc.String()),
+		Apsys:      strings.NewReader(aps.String()),
+	}, ds.Topology, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Analyze(Archives{
+		Apsys: strings.NewReader(aps.String()),
+	}, ds.Topology, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(res *Result, o correlate.Outcome) int {
+		var n int
+		for _, r := range res.Runs {
+			if r.Outcome == o {
+				n++
+			}
+		}
+		return n
+	}
+	if count(with, correlate.OutcomeWalltime) == 0 {
+		t.Error("no walltime kills detected with accounting data")
+	}
+	if count(without, correlate.OutcomeWalltime) != 0 {
+		t.Error("walltime kills detected without accounting data")
+	}
+	// Totals are conserved: the walltime runs became USER.
+	failedWith := count(with, correlate.OutcomeWalltime) + count(with, correlate.OutcomeUserFailure)
+	failedWithout := count(without, correlate.OutcomeUserFailure)
+	if failedWith != failedWithout {
+		t.Errorf("user+walltime %d != user-only %d", failedWith, failedWithout)
+	}
+}

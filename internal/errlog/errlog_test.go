@@ -1,0 +1,129 @@
+package errlog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"logdiver/internal/machine"
+	"logdiver/internal/taxonomy"
+)
+
+func TestIsSystemWide(t *testing.T) {
+	if (Event{Node: 5}).IsSystemWide() {
+		t.Error("node-scoped event reported system-wide")
+	}
+	if !(Event{Node: SystemWide}).IsSystemWide() {
+		t.Error("SystemWide event not reported system-wide")
+	}
+}
+
+func TestTagStability(t *testing.T) {
+	tests := []struct {
+		cat  taxonomy.Category
+		want string
+	}{
+		{taxonomy.HardwareMemoryUE, "HWERR"},
+		{taxonomy.GPUMemoryDBE, "kernel"},
+		{taxonomy.InterconnectLink, "xtnlrd"},
+		{taxonomy.FilesystemLBUG, "kernel"},
+		{taxonomy.NodeHeartbeat, "xtevent"},
+		{taxonomy.SoftwareALPS, "apsys"},
+		{taxonomy.Unclassified, "kernel"},
+	}
+	for _, tt := range tests {
+		if got := Tag(tt.cat); got != tt.want {
+			t.Errorf("Tag(%v) = %q, want %q", tt.cat, got, tt.want)
+		}
+	}
+}
+
+func TestRenderMentionsComponent(t *testing.T) {
+	// Node-scoped hardware messages should reference the component so a
+	// human reading the log can locate the fault.
+	rng := rand.New(rand.NewSource(3))
+	const cname = "c12-3c2s7n1"
+	sawCname := 0
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		msg := Render(taxonomy.HardwareMemoryUE, cname, rng)
+		if strings.Contains(msg, cname) {
+			sawCname++
+		}
+	}
+	if sawCname == 0 {
+		t.Error("no uncorrected-memory variant mentions the cname")
+	}
+}
+
+func TestRenderUnknownCategory(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if msg := Render(taxonomy.Unclassified, "c0-0c0s0n0", rng); msg == "" {
+		t.Error("empty message for unknown category")
+	}
+}
+
+func TestBladeAndGeminiPrefixes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Blade messages reference the blade cname, not the node.
+	found := false
+	for i := 0; i < 40; i++ {
+		msg := Render(taxonomy.HardwareBlade, "c12-3c2s7n1", rng)
+		if strings.Contains(msg, "c12-3c2s7") && !strings.Contains(msg, "c12-3c2s7n1") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no blade variant uses the blade prefix")
+	}
+	// Gemini messages reference the ASIC component ("...g0"/"...g1").
+	found = false
+	for i := 0; i < 40; i++ {
+		msg := Render(taxonomy.InterconnectLink, "c12-3c2s7n3", rng)
+		if strings.Contains(msg, "c12-3c2s7g1") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no link variant uses the gemini prefix (node 3 -> g1)")
+	}
+}
+
+func TestPrefixFallbackOnBadCname(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// A non-cname host must pass through unharmed rather than panic.
+	msg := Render(taxonomy.HardwareBlade, "sdb", rng)
+	if !strings.Contains(msg, "sdb") {
+		t.Errorf("fallback host missing from %q", msg)
+	}
+}
+
+func TestRenderDeterministicForSeed(t *testing.T) {
+	a := Render(taxonomy.KernelPanic, "c0-0c0s0n0", rand.New(rand.NewSource(7)))
+	b := Render(taxonomy.KernelPanic, "c0-0c0s0n0", rand.New(rand.NewSource(7)))
+	if a != b {
+		t.Errorf("same seed rendered %q and %q", a, b)
+	}
+}
+
+func TestRenderNoNewlines(t *testing.T) {
+	// Messages are embedded in line-oriented logs: newlines would corrupt
+	// the archive.
+	rng := rand.New(rand.NewSource(5))
+	for _, cat := range taxonomy.Categories() {
+		for i := 0; i < 25; i++ {
+			msg := Render(cat, "c1-1c1s1n1", rng)
+			if strings.ContainsAny(msg, "\n\r") {
+				t.Fatalf("Render(%v) produced a newline: %q", cat, msg)
+			}
+		}
+	}
+}
+
+func TestSystemWideConstant(t *testing.T) {
+	if SystemWide != machine.NodeID(-1) {
+		t.Errorf("SystemWide = %d, want -1", SystemWide)
+	}
+}

@@ -1,0 +1,482 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"logdiver/internal/core"
+	"logdiver/internal/correlate"
+	"logdiver/internal/gen"
+	"logdiver/internal/machine"
+)
+
+// fixture generates one small dataset and analysis shared by all tests.
+type fixture struct {
+	ds  *gen.Dataset
+	res *core.Result
+}
+
+var cached *fixture
+
+func getFixture(t *testing.T) *fixture {
+	t.Helper()
+	if cached != nil {
+		return cached
+	}
+	cfg := gen.Default()
+	cfg.Machine = machine.Small()
+	cfg.Days = 4
+	cfg.Seed = 11
+	cfg.Workload.JobsPerDay = 300
+	cfg.Workload.XECapabilityJobsPerDay = 3
+	cfg.Workload.XKCapabilityJobsPerDay = 1.5
+	cfg.Workload.XECapabilitySizes = []int{256, 512}
+	cfg.Workload.XKCapabilitySizes = []int{64, 160}
+	cfg.Workload.FullScaleKneeXE = 512
+	cfg.Workload.FullScaleKneeXK = 160
+	cfg.Workload.SmallSizeMax = 96
+	cfg.Rates.NodeFatalPerNodeHour *= 20
+	cfg.Rates.NodeBenignPerNodeHour *= 20
+	cfg.Rates.GPUFatalPerNodeHour *= 100
+	ds, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.AnalyzeParsed(ds.Jobs, ds.Runs, ds.Events, ds.Topology, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached = &fixture{ds: ds, res: res}
+	return cached
+}
+
+func TestE1Workload(t *testing.T) {
+	f := getFixture(t)
+	tbl := E1Workload(f.res)
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Errorf("rows = %d, want 4", len(tbl.Rows))
+	}
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "XK (hybrid) runs") {
+		t.Error("missing XK row")
+	}
+}
+
+func TestE2Outcomes(t *testing.T) {
+	f := getFixture(t)
+	tbl := E2Outcomes(f.res)
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Errorf("rows = %d, want 4 outcomes", len(tbl.Rows))
+	}
+	if len(tbl.Notes) != 2 {
+		t.Errorf("notes = %d, want anchor comparisons", len(tbl.Notes))
+	}
+	if !strings.Contains(tbl.Notes[0], "1.53%") {
+		t.Errorf("anchor missing from note: %q", tbl.Notes[0])
+	}
+}
+
+func TestE3Categories(t *testing.T) {
+	f := getFixture(t)
+	tbl := E3Categories(f.res)
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Error("no category rows")
+	}
+}
+
+func TestE4E5Scaling(t *testing.T) {
+	f := getFixture(t)
+	e4, err := E4ScalingXE(f.res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e4.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(e4.Rows) == 0 {
+		t.Error("E4 has no buckets")
+	}
+	// The small test machine has no runs at 10k nodes: probes must degrade
+	// to an explanatory note, not an error.
+	found := false
+	for _, n := range e4.Notes {
+		if strings.Contains(n, "no runs in window") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("E4 missing small-dataset probe note")
+	}
+	e5, err := E5ScalingXK(f.res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e5.Rows) == 0 {
+		t.Error("E5 has no buckets")
+	}
+}
+
+func TestE6Distributions(t *testing.T) {
+	f := getFixture(t)
+	tbl, err := E6Distributions(f.res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Errorf("rows = %d, want 4 populations", len(tbl.Rows))
+	}
+}
+
+func TestE7MTTI(t *testing.T) {
+	f := getFixture(t)
+	tbl, err := E7MTTI(f.res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Error("no MTTI buckets")
+	}
+}
+
+func TestE8Timeline(t *testing.T) {
+	f := getFixture(t)
+	tbl, err := E8Timeline(f.res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Error("no timeline rows")
+	}
+	empty := &core.Result{}
+	if _, err := E8Timeline(empty); err == nil {
+		t.Error("empty result accepted")
+	}
+}
+
+func TestE9Detection(t *testing.T) {
+	f := getFixture(t)
+	tbl := E9Detection(f.res, f.ds.Truth)
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Errorf("rows = %d, want 4 populations", len(tbl.Rows))
+	}
+}
+
+func TestE10Coalesce(t *testing.T) {
+	f := getFixture(t)
+	tbl := E10Coalesce(f.res)
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Errorf("rows = %d, want 4 stages", len(tbl.Rows))
+	}
+}
+
+func TestA1WindowMonotoneAttribution(t *testing.T) {
+	f := getFixture(t)
+	windows := []time.Duration{time.Minute, 10 * time.Minute, 2 * time.Hour}
+	tbl, err := A1Window(f.res, f.ds.Topology, f.ds.Truth, windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(windows) {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Attribution counts must not decrease as the window grows.
+	prev := -1
+	for _, row := range tbl.Rows {
+		n := parseCount(t, row[1])
+		if n < prev {
+			t.Errorf("attribution decreased as window grew: %v", tbl.Rows)
+		}
+		prev = n
+	}
+}
+
+func TestA2BaselineOverattributes(t *testing.T) {
+	f := getFixture(t)
+	tbl, err := A2Baseline(f.res, f.ds.Topology, f.ds.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	joined := parseCount(t, tbl.Rows[0][1])
+	baseline := parseCount(t, tbl.Rows[1][1])
+	if baseline <= joined {
+		t.Errorf("temporal-only baseline attributed %d <= node-time %d; expected gross overattribution",
+			baseline, joined)
+	}
+}
+
+func TestAllProducesEveryTable(t *testing.T) {
+	f := getFixture(t)
+	tables, err := All(f.res, f.ds.Topology, f.ds.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "A1", "A2", "A3"}
+	if len(tables) != len(want) {
+		t.Fatalf("got %d tables, want %d", len(tables), len(want))
+	}
+	for i, tbl := range tables {
+		if tbl.ID != want[i] {
+			t.Errorf("table %d = %s, want %s", i, tbl.ID, want[i])
+		}
+		if err := tbl.Validate(); err != nil {
+			t.Errorf("table %s invalid: %v", tbl.ID, err)
+		}
+	}
+	// Without truth, the truth-dependent tables are omitted.
+	noTruth, err := All(f.res, f.ds.Topology, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(noTruth) != 17 {
+		t.Errorf("without truth got %d tables, want 17", len(noTruth))
+	}
+}
+
+func TestReadProbe(t *testing.T) {
+	f := getFixture(t)
+	probe := Probe{Name: "test", Class: machine.ClassXE, Lo: 1, Hi: 1 << 20, Anchor: 0.1}
+	pr, err := ReadProbe(f.res.Runs, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int
+	for _, r := range f.res.Runs {
+		if r.Class == machine.ClassXE {
+			want++
+		}
+	}
+	if pr.Runs != want {
+		t.Errorf("probe saw %d runs, want %d", pr.Runs, want)
+	}
+	if pr.P.Lo > pr.P.P || pr.P.P > pr.P.Hi {
+		t.Errorf("CI broken: %+v", pr.P)
+	}
+}
+
+func TestAccuracyEdgeCases(t *testing.T) {
+	prec, rec, n := accuracy(nil, nil)
+	if prec != 1 || rec != 1 || n != 0 {
+		t.Errorf("empty accuracy = (%v,%v,%d)", prec, rec, n)
+	}
+}
+
+// parseCount undoes report.Count's thousands separators.
+func parseCount(t *testing.T, s string) int {
+	t.Helper()
+	s = strings.ReplaceAll(s, ",", "")
+	var n int
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			t.Fatalf("bad count %q", s)
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func TestE11Energy(t *testing.T) {
+	f := getFixture(t)
+	tbl := E11Energy(f.res)
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Errorf("rows = %d, want XE, XK and total", len(tbl.Rows))
+	}
+	// There are system failures in the fixture, so energy must be lost.
+	if tbl.Rows[2][2] == "0.00" {
+		t.Errorf("total energy lost is zero: %v", tbl.Rows)
+	}
+}
+
+func TestE12InterruptDist(t *testing.T) {
+	f := getFixture(t)
+	tbl, err := E12InterruptDist(f.res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Errorf("rows = %d, want all/XE/XK", len(tbl.Rows))
+	}
+	if tbl.Rows[0][2] == "n/a" {
+		t.Error("machine-wide interrupt gaps missing")
+	}
+}
+
+func TestE13Checkpoint(t *testing.T) {
+	f := getFixture(t)
+	tbl, err := E13Checkpoint(f.res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no checkpoint rows")
+	}
+	// At least one bucket must have a concrete plan.
+	var concrete bool
+	for _, row := range tbl.Rows {
+		if row[1] != "n/a" {
+			concrete = true
+		}
+	}
+	if !concrete {
+		t.Errorf("no bucket produced a plan: %v", tbl.Rows)
+	}
+}
+
+func TestE14BlastRadius(t *testing.T) {
+	f := getFixture(t)
+	tbl := E14BlastRadius(f.res)
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no blast-radius rows")
+	}
+	// The filesystem group exists (machine-scoped Lustre outages) and
+	// must report at least one event.
+	var sawFS bool
+	for _, row := range tbl.Rows {
+		if row[0] == "FILESYSTEM" {
+			sawFS = true
+			if parseCount(t, row[1]) == 0 {
+				t.Error("filesystem group has zero events")
+			}
+		}
+	}
+	if !sawFS {
+		t.Errorf("no FILESYSTEM group in %v", tbl.Rows)
+	}
+}
+
+func TestE15Availability(t *testing.T) {
+	f := getFixture(t)
+	tbl, err := E15Availability(f.res, f.ds.Topology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 8 {
+		t.Errorf("rows = %d, want at least the 8 fixed measures", len(tbl.Rows))
+	}
+	// Availability must be high but below 100% (there are node deaths).
+	var availRow string
+	for _, row := range tbl.Rows {
+		if row[0] == "machine availability" {
+			availRow = row[1]
+		}
+	}
+	if availRow == "" || availRow == "100.0000%" {
+		t.Errorf("availability row = %q", availRow)
+	}
+	if _, err := E15Availability(&core.Result{}, f.ds.Topology); err == nil {
+		t.Error("empty result accepted")
+	}
+}
+
+func TestE16Survival(t *testing.T) {
+	f := getFixture(t)
+	tbl, err := E16Survival(f.res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no survival rows")
+	}
+	// Survival values must be valid probabilities and non-increasing
+	// across horizons within a row.
+	for _, row := range tbl.Rows {
+		prev := 1.01
+		for _, cell := range row[3:] {
+			if cell == "n/a" {
+				continue
+			}
+			var v float64
+			if _, err := fmt.Sscanf(cell, "%f", &v); err != nil {
+				t.Fatalf("bad survival cell %q", cell)
+			}
+			if v < 0 || v > 1 {
+				t.Fatalf("survival %v outside [0,1]", v)
+			}
+			if v > prev+1e-9 {
+				t.Fatalf("survival increased across horizons: %v", row)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestE17Applications(t *testing.T) {
+	f := getFixture(t)
+	tbl := E17Applications(f.res)
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 || len(tbl.Rows) > 12 {
+		t.Errorf("rows = %d, want 1..12", len(tbl.Rows))
+	}
+	// Rows are ordered by node-hours descending.
+	prev := 1e18
+	for _, row := range tbl.Rows {
+		var nh float64
+		if _, err := fmt.Sscanf(row[2], "%f", &nh); err != nil {
+			t.Fatalf("bad node-hours cell %q", row[2])
+		}
+		if nh > prev {
+			t.Fatalf("rows not sorted by node-hours: %v", tbl.Rows)
+		}
+		prev = nh
+	}
+}
+
+func TestA3CoalesceSweep(t *testing.T) {
+	f := getFixture(t)
+	windows := []time.Duration{0, time.Minute, time.Hour}
+	tbl := A3Coalesce(f.res, windows)
+	if len(tbl.Rows) != len(windows) {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Tuple counts must not increase as the window grows.
+	prev := 1 << 62
+	for _, row := range tbl.Rows {
+		n := parseCount(t, row[1])
+		if n > prev {
+			t.Errorf("tuples increased with window: %v", tbl.Rows)
+		}
+		prev = n
+	}
+	// The zero window equals the deduplicated event count.
+	if got := parseCount(t, tbl.Rows[0][1]); got != f.res.Coalesce.Deduped {
+		t.Errorf("no-window tuples = %d, want %d", got, f.res.Coalesce.Deduped)
+	}
+}
+
+var _ = correlate.OutcomeSuccess // keep import for future assertions

@@ -1,0 +1,129 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"logdiver/internal/machine"
+)
+
+// span is a half-open range [lo, hi) of node IDs.
+type span struct {
+	lo, hi machine.NodeID
+}
+
+// allocator hands out node IDs from a pool, lowest-first, mimicking the
+// placement locality of a real scheduler (contiguous ranges preferred, so
+// blade- and cabinet-level failure domains are shared by co-placed runs).
+type allocator struct {
+	free []span // sorted, disjoint, non-adjacent
+	cap  int
+	used int
+}
+
+// newAllocator builds an allocator over the given node IDs (need not be
+// contiguous; they are normalized into spans).
+func newAllocator(ids []machine.NodeID) *allocator {
+	sorted := make([]machine.NodeID, len(ids))
+	copy(sorted, ids)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	a := &allocator{cap: len(sorted)}
+	for i := 0; i < len(sorted); {
+		j := i
+		for j+1 < len(sorted) && sorted[j+1] == sorted[j]+1 {
+			j++
+		}
+		a.free = append(a.free, span{sorted[i], sorted[j] + 1})
+		i = j + 1
+	}
+	return a
+}
+
+// freeCount returns the number of available nodes.
+func (a *allocator) freeCount() int { return a.cap - a.used }
+
+// alloc takes n nodes from the pool, lowest-first. It returns nil (and
+// leaves the pool untouched) when fewer than n nodes are free.
+func (a *allocator) alloc(n int) []machine.NodeID {
+	if n <= 0 || n > a.freeCount() {
+		return nil
+	}
+	out := make([]machine.NodeID, 0, n)
+	remaining := n
+	i := 0
+	for remaining > 0 {
+		s := &a.free[i]
+		take := int(s.hi - s.lo)
+		if take > remaining {
+			take = remaining
+		}
+		for k := 0; k < take; k++ {
+			out = append(out, s.lo+machine.NodeID(k))
+		}
+		s.lo += machine.NodeID(take)
+		remaining -= take
+		if s.lo == s.hi {
+			i++
+		}
+	}
+	a.free = a.free[i:]
+	a.used += n
+	return out
+}
+
+// release returns nodes to the pool. The slice must contain IDs previously
+// handed out by alloc and not yet released; violating this corrupts the
+// pool, so release validates against double-free by checking span overlap.
+func (a *allocator) release(ids []machine.NodeID) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	sorted := make([]machine.NodeID, len(ids))
+	copy(sorted, ids)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var spans []span
+	for i := 0; i < len(sorted); {
+		j := i
+		for j+1 < len(sorted) && sorted[j+1] == sorted[j]+1 {
+			j++
+		}
+		if j > i && sorted[i] == sorted[j] {
+			return fmt.Errorf("gen: duplicate node %d in release", sorted[i])
+		}
+		spans = append(spans, span{sorted[i], sorted[j] + 1})
+		i = j + 1
+	}
+	for _, s := range spans {
+		if err := a.insert(s); err != nil {
+			return err
+		}
+	}
+	a.used -= len(sorted)
+	return nil
+}
+
+// insert merges one span into the free list.
+func (a *allocator) insert(s span) error {
+	i := sort.Search(len(a.free), func(k int) bool { return a.free[k].lo >= s.lo })
+	// Overlap checks against neighbors.
+	if i > 0 && a.free[i-1].hi > s.lo {
+		return fmt.Errorf("gen: release of free node range [%d,%d)", s.lo, s.hi)
+	}
+	if i < len(a.free) && a.free[i].lo < s.hi {
+		return fmt.Errorf("gen: release of free node range [%d,%d)", s.lo, s.hi)
+	}
+	a.free = append(a.free, span{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = s
+	// Merge with predecessor and successor where adjacent.
+	if i > 0 && a.free[i-1].hi == a.free[i].lo {
+		a.free[i-1].hi = a.free[i].hi
+		a.free = append(a.free[:i], a.free[i+1:]...)
+		i--
+	}
+	if i+1 < len(a.free) && a.free[i].hi == a.free[i+1].lo {
+		a.free[i].hi = a.free[i+1].hi
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package gen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"logdiver/internal/alps"
+	"logdiver/internal/correlate"
+	"logdiver/internal/errlog"
+	"logdiver/internal/syslogx"
+	"logdiver/internal/taxonomy"
+	"logdiver/internal/wlm"
+)
+
+// apsysHost is the service host apsys records are logged from.
+const apsysHost = "nid00038"
+
+// WriteAccounting writes the Torque-style accounting archive: Q, S and E
+// records for every job, in record-time order.
+func (d *Dataset) WriteAccounting(w io.Writer) error {
+	recs := make([]wlm.Record, 0, 3*len(d.Jobs))
+	for _, j := range d.Jobs {
+		recs = append(recs, wlm.QueueRecord(j), wlm.StartRecord(j), wlm.EndRecord(j))
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Time.Before(recs[j].Time) })
+	out := wlm.NewWriter(w)
+	for _, r := range recs {
+		if err := out.Write(r); err != nil {
+			return fmt.Errorf("gen: accounting: %w", err)
+		}
+	}
+	return out.Flush()
+}
+
+// WriteApsys writes the ALPS apsys archive: Starting and Finishing syslog
+// lines for every run, in time order.
+func (d *Dataset) WriteApsys(w io.Writer) error {
+	type entry struct {
+		at   time.Time
+		body string
+	}
+	entries := make([]entry, 0, 2*len(d.Runs))
+	for _, r := range d.Runs {
+		entries = append(entries, entry{r.Start, alps.StartMessage(r)})
+		entries = append(entries, entry{r.End, alps.ExitMessage(r)})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].at.Before(entries[j].at) })
+	out := syslogx.NewWriter(w)
+	for _, e := range entries {
+		err := out.Write(syslogx.Line{Time: e.at, Host: apsysHost, Tag: alps.Tag, Message: e.body})
+		if err != nil {
+			return fmt.Errorf("gen: apsys: %w", err)
+		}
+	}
+	return out.Flush()
+}
+
+// WriteErrorLog writes the syslog error archive. With the configured
+// probabilities it injects forwarder duplicates and malformed lines, which
+// the analysis pipeline must tolerate (and deduplicate).
+func (d *Dataset) WriteErrorLog(w io.Writer) error {
+	rng := rand.New(rand.NewSource(d.Config.Seed + 7919))
+	out := syslogx.NewWriter(w)
+	days := float64(d.Config.Days)
+	nMalformed := int(d.Config.Rates.MalformedPerDay * days)
+	malformedEvery := 0
+	if nMalformed > 0 && len(d.Events) > 0 {
+		malformedEvery = len(d.Events)/nMalformed + 1
+	}
+	for i, e := range d.Events {
+		line := syslogx.Line{Time: e.Time, Host: e.Cname, Tag: errlog.Tag(e.Category), Message: e.Message}
+		if line.Host == "" {
+			line.Host = "sdb"
+		}
+		if err := out.Write(line); err != nil {
+			return fmt.Errorf("gen: errorlog: %w", err)
+		}
+		if rng.Float64() < d.Config.Rates.DupProb {
+			if err := out.Write(line); err != nil {
+				return fmt.Errorf("gen: errorlog: %w", err)
+			}
+		}
+		if malformedEvery > 0 && i%malformedEvery == malformedEvery-1 {
+			// Inject a truncated copy: real archives contain lines cut
+			// mid-write, and the parser must skip them. Cut inside the
+			// timestamp/host prefix so the line can never parse.
+			raw := syslogx.Format(line)
+			cut := 20
+			if cut > len(raw) {
+				cut = len(raw)
+			}
+			if err := out.WriteRawLine(raw[:cut]); err != nil {
+				return err
+			}
+		}
+	}
+	return out.Flush()
+}
+
+// TruthRecord is the JSONL ground-truth representation.
+type TruthRecord struct {
+	ApID     uint64 `json:"apid"`
+	Outcome  string `json:"outcome"`
+	Category string `json:"category,omitempty"`
+	Detected bool   `json:"detected"`
+}
+
+// WriteTruth writes the ground-truth sidecar as JSON lines, sorted by apid.
+func (d *Dataset) WriteTruth(w io.Writer) error {
+	ids := make([]uint64, 0, len(d.Truth))
+	for id := range d.Truth {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	bw := bufio.NewWriterSize(w, 1<<16)
+	enc := json.NewEncoder(bw)
+	for _, id := range ids {
+		t := d.Truth[id]
+		rec := TruthRecord{
+			ApID:     id,
+			Outcome:  t.Outcome.String(),
+			Detected: t.Detected,
+		}
+		if t.Category != taxonomy.Unclassified {
+			rec.Category = t.Category.String()
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("gen: truth: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTruth parses a ground-truth sidecar written by WriteTruth.
+func ReadTruth(r io.Reader) (map[uint64]Truth, error) {
+	out := make(map[uint64]Truth)
+	dec := json.NewDecoder(r)
+	for {
+		var rec TruthRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("gen: truth: %w", err)
+		}
+		t := Truth{Detected: rec.Detected}
+		switch rec.Outcome {
+		case correlate.OutcomeSuccess.String():
+			t.Outcome = correlate.OutcomeSuccess
+		case correlate.OutcomeUserFailure.String():
+			t.Outcome = correlate.OutcomeUserFailure
+		case correlate.OutcomeWalltime.String():
+			t.Outcome = correlate.OutcomeWalltime
+		case correlate.OutcomeSystemFailure.String():
+			t.Outcome = correlate.OutcomeSystemFailure
+		default:
+			return nil, fmt.Errorf("gen: truth: unknown outcome %q", rec.Outcome)
+		}
+		if rec.Category != "" {
+			cat, ok := taxonomy.ParseCategory(rec.Category)
+			if !ok {
+				return nil, fmt.Errorf("gen: truth: unknown category %q", rec.Category)
+			}
+			t.Category = cat
+		}
+		out[rec.ApID] = t
+	}
+	return out, nil
+}

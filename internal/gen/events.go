@@ -1,0 +1,295 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"logdiver/internal/errlog"
+	"logdiver/internal/machine"
+	"logdiver/internal/taxonomy"
+)
+
+// fatal is a node-scoped application-killing fault.
+type fatal struct {
+	at  time.Time
+	cat taxonomy.Category
+}
+
+// sharedKind discriminates machine-scoped fault types.
+type sharedKind int
+
+const (
+	sharedFS sharedKind = iota + 1
+	sharedHSN
+)
+
+// shared is a machine-scoped fault that may kill any running application.
+type shared struct {
+	at   time.Time
+	kind sharedKind
+	cat  taxonomy.Category
+}
+
+// faults is the pre-generated background fault timeline.
+type faults struct {
+	// nodeFatal maps nodes with at least one fatal fault to their
+	// time-sorted fault list.
+	nodeFatal map[machine.NodeID][]fatal
+	// shared is the time-sorted machine-scoped fault list.
+	shared []shared
+	// logged accumulates the log events the faults leave behind.
+	logged []errlog.Event
+}
+
+// poisson samples a Poisson variate. Knuth's method below mean 30, normal
+// approximation above.
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 30 {
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= rng.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	n := int(math.Round(mean + math.Sqrt(mean)*rng.NormFloat64()))
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// severityOf returns the severity the default classifier assigns to a
+// category, so in-memory events match what parsing the rendered text yields.
+func severityOf(cat taxonomy.Category) taxonomy.Severity {
+	for _, r := range taxonomy.Default().Rules() {
+		if r.Category == cat {
+			return r.Severity
+		}
+	}
+	return taxonomy.SevInfo
+}
+
+// pickWeighted selects an index with probability proportional to weights.
+func pickWeighted(rng *rand.Rand, weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	x := rng.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// logEvent renders and records one logged event.
+func (f *faults) logEvent(rng *rand.Rand, top *machine.Topology, at time.Time, node machine.NodeID, cat taxonomy.Category) {
+	cname := "sdb"
+	if node != errlog.SystemWide {
+		cname = top.MustNode(node).Cname.String()
+	}
+	f.logged = append(f.logged, errlog.Event{
+		Time:     at,
+		Node:     node,
+		Cname:    cname,
+		Category: cat,
+		Severity: severityOf(cat),
+		Message:  errlog.Render(cat, cname, rng),
+	})
+}
+
+// addFatal records a node-scoped kill and its log evidence.
+func (f *faults) addFatal(rng *rand.Rand, top *machine.Topology, at time.Time, node machine.NodeID, cat taxonomy.Category) {
+	f.nodeFatal[node] = append(f.nodeFatal[node], fatal{at: at, cat: cat})
+	f.logEvent(rng, top, at, node, cat)
+}
+
+// generateFaults builds the background fault timeline for the span.
+func generateFaults(cfg Config, top *machine.Topology, rng *rand.Rand) *faults {
+	f := &faults{nodeFatal: make(map[machine.NodeID][]fatal)}
+	hours := float64(cfg.Days) * 24
+	span := time.Duration(cfg.Days) * 24 * time.Hour
+	randAt := func() time.Time {
+		return cfg.Start.Add(time.Duration(rng.Int63n(int64(span))))
+	}
+
+	compute := append(top.XENodes(), top.XKNodes()...)
+	sort.Slice(compute, func(i, j int) bool { return compute[i] < compute[j] })
+	randComputeNode := func() machine.NodeID {
+		return compute[rng.Intn(len(compute))]
+	}
+	spanEnd := cfg.Start.Add(span)
+	// recoverNode emits the HSS "returned to service" record a repair
+	// time after a node death; nodes that die near the end of the span
+	// stay down (no recovery logged), as on a real machine.
+	recoverNode := func(node machine.NodeID, downAt time.Time, medianHours, sigma float64) {
+		repair := time.Duration(medianHours * math.Exp(sigma*rng.NormFloat64()) * float64(time.Hour))
+		if repair < 5*time.Minute {
+			repair = 5 * time.Minute
+		}
+		upAt := downAt.Add(repair)
+		if upAt.After(spanEnd) {
+			return
+		}
+		f.logEvent(rng, top, upAt, node, taxonomy.NodeRecovered)
+	}
+
+	// Node-local fatal faults: uncorrected memory, CPU machine checks,
+	// kernel panics, heartbeat losses. A heartbeat loss is often the
+	// *second* record of the same death (the panic then the HSS alert),
+	// so panics also emit a trailing heartbeat event.
+	nodeFatalCats := []taxonomy.Category{
+		taxonomy.HardwareMemoryUE, taxonomy.HardwareCPU,
+		taxonomy.KernelPanic, taxonomy.NodeHeartbeat,
+	}
+	nodeFatalWeights := []float64{0.30, 0.10, 0.25, 0.35}
+	nFatal := poisson(rng, cfg.Rates.NodeFatalPerNodeHour*float64(len(compute))*hours)
+	for i := 0; i < nFatal; i++ {
+		at := randAt()
+		node := randComputeNode()
+		cat := nodeFatalCats[pickWeighted(rng, nodeFatalWeights)]
+		f.addFatal(rng, top, at, node, cat)
+		if cat == taxonomy.KernelPanic {
+			f.logEvent(rng, top, at.Add(time.Duration(20+rng.Intn(60))*time.Second),
+				node, taxonomy.NodeHeartbeat)
+		}
+		recoverNode(node, at, 2.0, 0.7) // typical repair: a couple of hours
+	}
+
+	// Blade faults: the blade's four nodes die together.
+	nBlade := poisson(rng, cfg.Rates.BladeFailPerHour*hours)
+	for i := 0; i < nBlade; i++ {
+		at := randAt()
+		blade := machine.BladeID(rng.Intn(top.NumBlades()))
+		nodes, err := top.BladeNodes(blade)
+		if err != nil {
+			continue
+		}
+		cat := taxonomy.HardwareBlade
+		if rng.Intn(2) == 0 {
+			cat = taxonomy.HardwarePower
+		}
+		for _, n := range nodes {
+			f.addFatal(rng, top, at, n, cat)
+			recoverNode(n, at, 5.0, 0.6) // blade swap: several hours
+		}
+	}
+
+	// Gemini link failures: the ASIC's two nodes drop off the network
+	// (fatal for their runs) and the resulting reroute/quiesce is a
+	// machine-scoped hazard for large tightly-coupled applications.
+	nLink := poisson(rng, cfg.Rates.LinkFailPerHour*hours)
+	for i := 0; i < nLink; i++ {
+		at := randAt()
+		gem := machine.GeminiID(rng.Intn(top.NumGeminis()))
+		nodes, err := top.GeminiNodes(gem)
+		if err != nil {
+			continue
+		}
+		for _, n := range nodes {
+			f.addFatal(rng, top, at, n, taxonomy.InterconnectLink)
+			recoverNode(n, at, 0.6, 0.5) // link retrain/warm swap: under an hour
+		}
+		quiesceAt := at.Add(time.Duration(5+rng.Intn(30)) * time.Second)
+		f.shared = append(f.shared, shared{at: quiesceAt, kind: sharedHSN, cat: taxonomy.InterconnectRouting})
+		f.logEvent(rng, top, quiesceAt, errlog.SystemWide, taxonomy.InterconnectRouting)
+	}
+
+	// Lustre outages: a machine-scoped event plus eviction chatter on a
+	// handful of client nodes.
+	nFS := poisson(rng, cfg.Rates.FSOutagePerHour*hours)
+	for i := 0; i < nFS; i++ {
+		at := randAt()
+		cat := taxonomy.FilesystemUnavail
+		if rng.Float64() < 0.15 {
+			cat = taxonomy.FilesystemLBUG
+		}
+		f.shared = append(f.shared, shared{at: at, kind: sharedFS, cat: cat})
+		f.logEvent(rng, top, at, errlog.SystemWide, cat)
+		// Client-side chatter: slow-reply/timeout warnings on a handful
+		// of nodes. Warning grade: an eviction is usually survived by the
+		// application (I/O retries), so it must not qualify as failure
+		// evidence by itself.
+		evictions := 5 + rng.Intn(20)
+		for k := 0; k < evictions; k++ {
+			f.logEvent(rng, top, at.Add(time.Duration(rng.Intn(120))*time.Second),
+				randComputeNode(), taxonomy.FilesystemTimeout)
+		}
+	}
+
+	// Benign noise episodes: corrected-memory bursts, Lustre slow-reply
+	// warnings, GPU page retirements on hybrid nodes. These never kill
+	// anything; they exist to exercise classification and coalescing at
+	// realistic volume.
+	xk := top.XKNodes()
+	nBenign := poisson(rng, cfg.Rates.NodeBenignPerNodeHour*float64(len(compute))*hours)
+	for i := 0; i < nBenign; i++ {
+		at := randAt()
+		node := randComputeNode()
+		var cat taxonomy.Category
+		switch pickWeighted(rng, []float64{0.55, 0.35, 0.10}) {
+		case 0:
+			cat = taxonomy.HardwareMemoryCE
+		case 1:
+			cat = taxonomy.FilesystemTimeout
+		default:
+			cat = taxonomy.GPUPageRetir
+			node = xk[rng.Intn(len(xk))]
+		}
+		burst := 1
+		if cfg.Rates.BurstMax > 1 {
+			burst = 1 + rng.Intn(cfg.Rates.BurstMax)
+		}
+		for k := 0; k < burst; k++ {
+			f.logEvent(rng, top, at.Add(time.Duration(k*7+rng.Intn(7))*time.Second), node, cat)
+		}
+	}
+
+	for _, lst := range f.nodeFatal {
+		sort.Slice(lst, func(i, j int) bool { return lst[i].at.Before(lst[j].at) })
+	}
+	sort.Slice(f.shared, func(i, j int) bool { return f.shared[i].at.Before(f.shared[j].at) })
+	sort.Slice(f.logged, func(i, j int) bool { return f.logged[i].Time.Before(f.logged[j].Time) })
+	return f
+}
+
+// firstFatalOn returns the earliest fatal fault on any of the nodes in
+// (after, until], if any.
+func (f *faults) firstFatalOn(nodes []machine.NodeID, after, until time.Time) (fatal, bool) {
+	var best fatal
+	var found bool
+	for _, n := range nodes {
+		lst, ok := f.nodeFatal[n]
+		if !ok {
+			continue
+		}
+		i := sort.Search(len(lst), func(k int) bool { return lst[k].at.After(after) })
+		if i < len(lst) && !lst[i].at.After(until) {
+			if !found || lst[i].at.Before(best.at) {
+				best = lst[i]
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// sharedIn returns the subslice of shared faults in (after, until].
+func (f *faults) sharedIn(after, until time.Time) []shared {
+	lo := sort.Search(len(f.shared), func(i int) bool { return f.shared[i].at.After(after) })
+	hi := sort.Search(len(f.shared), func(i int) bool { return f.shared[i].at.After(until) })
+	return f.shared[lo:hi]
+}

@@ -1,0 +1,175 @@
+// Package interval provides the node-time index at the heart of the
+// error-to-application join: given the full stream of classified error
+// events, it answers "which events occurred on any of these nodes (or
+// machine-wide) during this time window" in logarithmic time per node.
+// This is what makes attributing errors to five million application runs
+// tractable.
+package interval
+
+import (
+	"sort"
+	"time"
+
+	"logdiver/internal/errlog"
+	"logdiver/internal/machine"
+)
+
+// Index holds classified events organized per node and sorted by time.
+// Per-node lists live in a dense array indexed by NodeID: the attribution
+// join probes millions of (node, window) pairs and a map would dominate
+// its cost.
+type Index struct {
+	perNode   [][]errlog.Event
+	nodeCount int
+	system    []errlog.Event
+	all       []errlog.Event
+	total     int
+}
+
+// NewIndex builds an index over events. The input slice is not retained;
+// events are grouped by node and each group is sorted by time.
+func NewIndex(events []errlog.Event) *Index {
+	ix := &Index{all: make([]errlog.Event, len(events))}
+	copy(ix.all, events)
+	var maxNode machine.NodeID = -1
+	for _, e := range events {
+		if !e.IsSystemWide() && e.Node > maxNode {
+			maxNode = e.Node
+		}
+	}
+	ix.perNode = make([][]errlog.Event, maxNode+1)
+	for _, e := range events {
+		if e.IsSystemWide() {
+			ix.system = append(ix.system, e)
+		} else {
+			if len(ix.perNode[e.Node]) == 0 {
+				ix.nodeCount++
+			}
+			ix.perNode[e.Node] = append(ix.perNode[e.Node], e)
+		}
+		ix.total++
+	}
+	byTime := func(evs []errlog.Event) {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Time.Before(evs[j].Time) })
+	}
+	byTime(ix.all)
+	byTime(ix.system)
+	for _, evs := range ix.perNode {
+		byTime(evs)
+	}
+	return ix
+}
+
+// nodeEvents returns the sorted event list for a node (nil when the node
+// has none or is out of range).
+func (ix *Index) nodeEvents(n machine.NodeID) []errlog.Event {
+	if n < 0 || int(n) >= len(ix.perNode) {
+		return nil
+	}
+	return ix.perNode[n]
+}
+
+// Len returns the total number of indexed events.
+func (ix *Index) Len() int { return ix.total }
+
+// SystemLen returns the number of system-wide events.
+func (ix *Index) SystemLen() int { return len(ix.system) }
+
+// Nodes returns the number of distinct nodes with at least one event.
+func (ix *Index) Nodes() int { return ix.nodeCount }
+
+// sliceWindow returns the subslice of evs with Time in [from, to].
+// evs must be sorted by time.
+func sliceWindow(evs []errlog.Event, from, to time.Time) []errlog.Event {
+	lo := sort.Search(len(evs), func(i int) bool { return !evs[i].Time.Before(from) })
+	hi := sort.Search(len(evs), func(i int) bool { return evs[i].Time.After(to) })
+	if lo >= hi {
+		return nil
+	}
+	return evs[lo:hi]
+}
+
+// NodeWindow returns the events on node with Time in [from, to], in time
+// order. The returned slice aliases the index and must not be modified.
+func (ix *Index) NodeWindow(node machine.NodeID, from, to time.Time) []errlog.Event {
+	return sliceWindow(ix.nodeEvents(node), from, to)
+}
+
+// SystemWindow returns the system-wide events with Time in [from, to].
+// The returned slice aliases the index and must not be modified.
+func (ix *Index) SystemWindow(from, to time.Time) []errlog.Event {
+	return sliceWindow(ix.system, from, to)
+}
+
+// Window collects all events relevant to an application run placed on the
+// given nodes during [from, to]: per-node events on those nodes plus
+// system-wide events. Results are returned in time order. The returned
+// slice is freshly allocated.
+func (ix *Index) Window(nodes []machine.NodeID, from, to time.Time) []errlog.Event {
+	var out []errlog.Event
+	for _, n := range nodes {
+		if evs := sliceWindow(ix.nodeEvents(n), from, to); len(evs) > 0 {
+			out = append(out, evs...)
+		}
+	}
+	if evs := sliceWindow(ix.system, from, to); len(evs) > 0 {
+		out = append(out, evs...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out
+}
+
+// AnyInWindow reports whether any event matching keep occurs on the given
+// nodes (or system-wide) during [from, to]. It short-circuits on the first
+// match, making it much cheaper than Window for yes/no attribution checks.
+func (ix *Index) AnyInWindow(nodes []machine.NodeID, from, to time.Time, keep func(errlog.Event) bool) (errlog.Event, bool) {
+	for _, n := range nodes {
+		for _, e := range sliceWindow(ix.nodeEvents(n), from, to) {
+			if keep(e) {
+				return e, true
+			}
+		}
+	}
+	for _, e := range sliceWindow(ix.system, from, to) {
+		if keep(e) {
+			return e, true
+		}
+	}
+	return errlog.Event{}, false
+}
+
+// FirstAnywhere returns the earliest event matching keep anywhere on the
+// machine during [from, to], ignoring placement. This serves the
+// temporal-only attribution baseline.
+func (ix *Index) FirstAnywhere(from, to time.Time, keep func(errlog.Event) bool) (errlog.Event, bool) {
+	for _, e := range sliceWindow(ix.all, from, to) {
+		if keep(e) {
+			return e, true
+		}
+	}
+	return errlog.Event{}, false
+}
+
+// FirstInWindow returns the earliest event matching keep on the given nodes
+// or system-wide during [from, to].
+func (ix *Index) FirstInWindow(nodes []machine.NodeID, from, to time.Time, keep func(errlog.Event) bool) (errlog.Event, bool) {
+	var best errlog.Event
+	var found bool
+	consider := func(evs []errlog.Event) {
+		for _, e := range evs {
+			if !keep(e) {
+				continue
+			}
+			if !found || e.Time.Before(best.Time) {
+				best = e
+				found = true
+			}
+			break // evs is time-sorted: first match is earliest in this group
+		}
+	}
+	for _, n := range nodes {
+		consider(sliceWindow(ix.nodeEvents(n), from, to))
+	}
+	consider(sliceWindow(ix.system, from, to))
+	return best, found
+}

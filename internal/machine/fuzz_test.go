@@ -1,0 +1,28 @@
+package machine
+
+import "testing"
+
+// FuzzParseCname checks that the cname parser never panics and that every
+// accepted input round-trips through String.
+func FuzzParseCname(f *testing.F) {
+	for _, seed := range []string{
+		"c0-0c0s0n0", "c12-3c2s7n1", "c23-11c1s4n3",
+		"", "c", "c--", "c0-0c3s0n0", "c1-1c1s1n1 trailing",
+		"c999999999999999999-0c0s0n0",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseCname(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseCname(c.String())
+		if err != nil {
+			t.Fatalf("accepted %q -> %v but reparse failed: %v", s, c, err)
+		}
+		if back != c {
+			t.Fatalf("round trip %q: %v != %v", s, back, c)
+		}
+	})
+}

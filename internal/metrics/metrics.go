@@ -1,0 +1,425 @@
+// Package metrics computes the study's headline measurements from
+// attributed application runs: outcome breakdowns (counts and node-hours),
+// failure probability as a function of application scale with Wilson
+// confidence intervals, mean time to interrupt (MTTI) by scale, per-category
+// failure breakdowns, production/lost node-hour timelines, energy-cost
+// estimates for lost work, and — when ground truth is available — the
+// error-detection coverage that exposes the hybrid-node detection gap.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"logdiver/internal/correlate"
+	"logdiver/internal/machine"
+	"logdiver/internal/stats"
+	"logdiver/internal/taxonomy"
+)
+
+// OutcomeBreakdown aggregates run counts and node-hours by outcome.
+type OutcomeBreakdown struct {
+	Total          int
+	TotalNodeHours float64
+	Counts         map[correlate.Outcome]int
+	NodeHours      map[correlate.Outcome]float64
+}
+
+// Outcomes aggregates runs by outcome.
+func Outcomes(runs []correlate.AttributedRun) OutcomeBreakdown {
+	b := OutcomeBreakdown{
+		Counts:    make(map[correlate.Outcome]int, 4),
+		NodeHours: make(map[correlate.Outcome]float64, 4),
+	}
+	for _, r := range runs {
+		nh := r.NodeHours()
+		b.Total++
+		b.TotalNodeHours += nh
+		b.Counts[r.Outcome]++
+		b.NodeHours[r.Outcome] += nh
+	}
+	return b
+}
+
+// SystemFailureFraction returns the fraction of runs attributed to system
+// problems — the paper's 1.53% headline.
+func (b OutcomeBreakdown) SystemFailureFraction() float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	return float64(b.Counts[correlate.OutcomeSystemFailure]) / float64(b.Total)
+}
+
+// SystemNodeHoursFraction returns the fraction of all node-hours consumed
+// by runs that failed for system reasons — the paper's ~9% headline (work
+// that was paid for in energy and lost).
+func (b OutcomeBreakdown) SystemNodeHoursFraction() float64 {
+	if b.TotalNodeHours == 0 {
+		return 0
+	}
+	return b.NodeHours[correlate.OutcomeSystemFailure] / b.TotalNodeHours
+}
+
+// ScaleBucket is one point of the failure-probability-versus-scale curve.
+type ScaleBucket struct {
+	// Lo and Hi bound the bucket: Lo <= nodes < Hi.
+	Lo, Hi int
+	// Runs and Failures count bucket membership and system failures.
+	Runs, Failures int
+	// Prob is the Wilson-interval estimate of P(system failure).
+	Prob stats.Proportion
+}
+
+// Label renders the bucket bounds compactly.
+func (b ScaleBucket) Label() string {
+	if b.Hi-b.Lo == 1 {
+		return fmt.Sprintf("%d", b.Lo)
+	}
+	return fmt.Sprintf("%d-%d", b.Lo, b.Hi-1)
+}
+
+// GeometricBuckets returns bucket boundaries [1,2,4,...,>=max] suitable for
+// scale analysis; the final boundary is one past max.
+func GeometricBuckets(max int) []int {
+	bounds := []int{1}
+	for b := 2; b < max; b *= 2 {
+		bounds = append(bounds, b)
+	}
+	bounds = append(bounds, max+1)
+	return bounds
+}
+
+// FailureProbabilityByScale buckets runs by placement size and estimates
+// P(system failure) per bucket. bounds must be ascending; bucket i covers
+// [bounds[i], bounds[i+1]). Runs outside every bucket are ignored. classFilter
+// restricts the population (0 accepts every class).
+func FailureProbabilityByScale(runs []correlate.AttributedRun, bounds []int, classFilter machine.NodeClass) ([]ScaleBucket, error) {
+	if len(bounds) < 2 {
+		return nil, fmt.Errorf("metrics: need at least 2 bucket bounds, got %d", len(bounds))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("metrics: bucket bounds not ascending at %d", i)
+		}
+	}
+	buckets := make([]ScaleBucket, len(bounds)-1)
+	for i := range buckets {
+		buckets[i] = ScaleBucket{Lo: bounds[i], Hi: bounds[i+1]}
+	}
+	for _, r := range runs {
+		if classFilter != 0 && r.Class != classFilter {
+			continue
+		}
+		n := len(r.Nodes)
+		i := sort.SearchInts(bounds, n+1) - 1
+		if i < 0 || i >= len(buckets) {
+			continue
+		}
+		buckets[i].Runs++
+		if r.Outcome == correlate.OutcomeSystemFailure {
+			buckets[i].Failures++
+		}
+	}
+	for i := range buckets {
+		if buckets[i].Runs == 0 {
+			continue
+		}
+		p, err := stats.Wilson(buckets[i].Failures, buckets[i].Runs, 1.96)
+		if err != nil {
+			return nil, err
+		}
+		buckets[i].Prob = p
+	}
+	return buckets, nil
+}
+
+// MTTIBucket reports interrupt statistics for a scale bucket.
+type MTTIBucket struct {
+	Lo, Hi int
+	// Runs counts bucket members; Interrupts counts system failures.
+	Runs, Interrupts int
+	// ExposureHours is the summed wall-clock hours of bucket members.
+	ExposureHours float64
+	// MTTIHours is ExposureHours/Interrupts (0 when no interrupts):
+	// the mean wall-clock time an application at this scale runs before
+	// a system interrupt.
+	MTTIHours float64
+}
+
+// MTTIByScale computes mean-time-to-interrupt per scale bucket.
+func MTTIByScale(runs []correlate.AttributedRun, bounds []int, classFilter machine.NodeClass) ([]MTTIBucket, error) {
+	if len(bounds) < 2 {
+		return nil, fmt.Errorf("metrics: need at least 2 bucket bounds, got %d", len(bounds))
+	}
+	buckets := make([]MTTIBucket, len(bounds)-1)
+	for i := range buckets {
+		buckets[i] = MTTIBucket{Lo: bounds[i], Hi: bounds[i+1]}
+	}
+	for _, r := range runs {
+		if classFilter != 0 && r.Class != classFilter {
+			continue
+		}
+		i := sort.SearchInts(bounds, len(r.Nodes)+1) - 1
+		if i < 0 || i >= len(buckets) {
+			continue
+		}
+		buckets[i].Runs++
+		buckets[i].ExposureHours += r.Duration().Hours()
+		if r.Outcome == correlate.OutcomeSystemFailure {
+			buckets[i].Interrupts++
+		}
+	}
+	for i := range buckets {
+		if buckets[i].Interrupts > 0 {
+			buckets[i].MTTIHours = buckets[i].ExposureHours / float64(buckets[i].Interrupts)
+		}
+	}
+	return buckets, nil
+}
+
+// CategoryShare is one row of the failure-cause breakdown.
+type CategoryShare struct {
+	Group    taxonomy.Group
+	Category taxonomy.Category
+	Failures int
+	// NodeHoursLost is the node-hours of runs attributed to the category.
+	NodeHoursLost float64
+}
+
+// ByCategory breaks system failures down by attributed cause, sorted by
+// descending failure count (ties by category order).
+func ByCategory(runs []correlate.AttributedRun) []CategoryShare {
+	byCat := make(map[taxonomy.Category]*CategoryShare)
+	for _, r := range runs {
+		if r.Outcome != correlate.OutcomeSystemFailure {
+			continue
+		}
+		s := byCat[r.Cause]
+		if s == nil {
+			s = &CategoryShare{Group: r.Cause.Group(), Category: r.Cause}
+			byCat[r.Cause] = s
+		}
+		s.Failures++
+		s.NodeHoursLost += r.NodeHours()
+	}
+	out := make([]CategoryShare, 0, len(byCat))
+	for _, s := range byCat {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Failures != out[j].Failures {
+			return out[i].Failures > out[j].Failures
+		}
+		return out[i].Category < out[j].Category
+	})
+	return out
+}
+
+// ByGroup rolls the category breakdown up to taxonomy groups.
+func ByGroup(runs []correlate.AttributedRun) []CategoryShare {
+	byGroup := make(map[taxonomy.Group]*CategoryShare)
+	for _, s := range ByCategory(runs) {
+		g := byGroup[s.Group]
+		if g == nil {
+			g = &CategoryShare{Group: s.Group}
+			byGroup[s.Group] = g
+		}
+		g.Failures += s.Failures
+		g.NodeHoursLost += s.NodeHoursLost
+	}
+	out := make([]CategoryShare, 0, len(byGroup))
+	for _, s := range byGroup {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Failures != out[j].Failures {
+			return out[i].Failures > out[j].Failures
+		}
+		return out[i].Group < out[j].Group
+	})
+	return out
+}
+
+// TimeBucket is one step of the production/lost node-hours timeline.
+type TimeBucket struct {
+	Start time.Time
+	// ProducedNodeHours counts node-hours of runs *ending* in the bucket;
+	// LostNodeHours the subset attributed to system failures.
+	ProducedNodeHours float64
+	LostNodeHours     float64
+	Runs              int
+	SystemFailures    int
+}
+
+// Timeline buckets runs by end time into steps of the given width.
+func Timeline(runs []correlate.AttributedRun, start, end time.Time, step time.Duration) ([]TimeBucket, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("metrics: timeline step %v must be positive", step)
+	}
+	if !end.After(start) {
+		return nil, fmt.Errorf("metrics: timeline range [%v,%v) is empty", start, end)
+	}
+	n := int(end.Sub(start)/step) + 1
+	out := make([]TimeBucket, n)
+	for i := range out {
+		out[i].Start = start.Add(time.Duration(i) * step)
+	}
+	for _, r := range runs {
+		if r.End.Before(start) || !r.End.Before(end.Add(step)) {
+			continue
+		}
+		i := int(r.End.Sub(start) / step)
+		if i < 0 || i >= n {
+			continue
+		}
+		nh := r.NodeHours()
+		out[i].Runs++
+		out[i].ProducedNodeHours += nh
+		if r.Outcome == correlate.OutcomeSystemFailure {
+			out[i].LostNodeHours += nh
+			out[i].SystemFailures++
+		}
+	}
+	return out, nil
+}
+
+// EnergyModel converts lost node-hours into energy. The defaults reflect a
+// petascale Cray: roughly 350 W per XE node and 450 W per XK node at load,
+// including the interconnect share.
+type EnergyModel struct {
+	WattsPerXENode float64
+	WattsPerXKNode float64
+}
+
+// DefaultEnergyModel returns the model used in the experiments.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{WattsPerXENode: 350, WattsPerXKNode: 450}
+}
+
+// LostEnergyMWh estimates the energy (megawatt-hours) consumed by runs that
+// failed for system reasons.
+func (m EnergyModel) LostEnergyMWh(runs []correlate.AttributedRun) float64 {
+	var wh float64
+	for _, r := range runs {
+		if r.Outcome != correlate.OutcomeSystemFailure {
+			continue
+		}
+		watts := m.WattsPerXENode
+		if r.Class == machine.ClassXK {
+			watts = m.WattsPerXKNode
+		}
+		wh += r.NodeHours() * watts
+	}
+	return wh / 1e6
+}
+
+// Coverage quantifies error-detection coverage against ground truth: of the
+// runs that *truly* failed for system reasons, how many did the logs let us
+// attribute to the system? The complement is the silent-failure (detection
+// gap) rate that impairs hybrid applications.
+type Coverage struct {
+	TrueSystem int // runs truly system-caused
+	Detected   int // ...of which attribution found evidence
+	// FalseSystem counts runs attributed to the system whose true cause
+	// was not the system (coincidental log activity).
+	FalseSystem int
+	Attributed  int // total runs attributed to the system
+}
+
+// Rate returns Detected/TrueSystem (1 when there were no true failures).
+func (c Coverage) Rate() float64 {
+	if c.TrueSystem == 0 {
+		return 1
+	}
+	return float64(c.Detected) / float64(c.TrueSystem)
+}
+
+// Precision returns Detected/Attributed (1 when nothing was attributed).
+func (c Coverage) Precision() float64 {
+	if c.Attributed == 0 {
+		return 1
+	}
+	return float64(c.Detected) / float64(c.Attributed)
+}
+
+// DetectionCoverage compares attribution with ground truth. truth maps apid
+// to whether the run truly failed for a system reason. classFilter restricts
+// the population (0 accepts every class).
+func DetectionCoverage(runs []correlate.AttributedRun, truth map[uint64]bool, classFilter machine.NodeClass) Coverage {
+	var c Coverage
+	for _, r := range runs {
+		if classFilter != 0 && r.Class != classFilter {
+			continue
+		}
+		trueSys := truth[r.ApID]
+		attributed := r.Outcome == correlate.OutcomeSystemFailure
+		if trueSys {
+			c.TrueSystem++
+			if attributed {
+				c.Detected++
+			}
+		} else if attributed {
+			c.FalseSystem++
+		}
+		if attributed {
+			c.Attributed++
+		}
+	}
+	return c
+}
+
+// InterruptGaps returns the machine-wide time gaps (hours) between
+// consecutive system-caused application failures, for distribution fitting
+// (exponential vs Weibull burstiness analysis). Runs must not be assumed
+// sorted; failures are ordered by run end time. classFilter restricts the
+// population (0 accepts every class). At least two failures are needed for
+// one gap; fewer yield nil.
+func InterruptGaps(runs []correlate.AttributedRun, classFilter machine.NodeClass) []float64 {
+	var times []time.Time
+	for _, r := range runs {
+		if r.Outcome != correlate.OutcomeSystemFailure {
+			continue
+		}
+		if classFilter != 0 && r.Class != classFilter {
+			continue
+		}
+		times = append(times, r.End)
+	}
+	if len(times) < 2 {
+		return nil
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i].Before(times[j]) })
+	gaps := make([]float64, 0, len(times)-1)
+	for i := 1; i < len(times); i++ {
+		if g := times[i].Sub(times[i-1]).Hours(); g > 0 {
+			gaps = append(gaps, g)
+		}
+	}
+	return gaps
+}
+
+// DurationSamples extracts run durations in hours, optionally filtered by
+// class, for distribution analysis.
+func DurationSamples(runs []correlate.AttributedRun, classFilter machine.NodeClass) []float64 {
+	out := make([]float64, 0, len(runs))
+	for _, r := range runs {
+		if classFilter != 0 && r.Class != classFilter {
+			continue
+		}
+		out = append(out, r.Duration().Hours())
+	}
+	return out
+}
+
+// SizeSamples extracts placement sizes, optionally filtered by class.
+func SizeSamples(runs []correlate.AttributedRun, classFilter machine.NodeClass) []float64 {
+	out := make([]float64, 0, len(runs))
+	for _, r := range runs {
+		if classFilter != 0 && r.Class != classFilter {
+			continue
+		}
+		out = append(out, float64(len(r.Nodes)))
+	}
+	return out
+}

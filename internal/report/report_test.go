@@ -1,0 +1,147 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		ID:      "E2",
+		Title:   "Outcome breakdown",
+		Columns: []string{"outcome", "runs", "share"},
+		Notes:   []string{"anchor: 1.53%"},
+	}
+	t.AddRow("SUCCESS", 100, Pct(0.75))
+	t.AddRow("SYSTEM", 2, Pct(0.0153))
+	return t
+}
+
+func TestRenderASCII(t *testing.T) {
+	var b strings.Builder
+	if err := sample().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"E2", "Outcome breakdown", "SUCCESS", "1.53%", "note: anchor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + separator + 2 rows + 1 note + title line.
+	if len(lines) != 6 {
+		t.Errorf("got %d lines, want 6:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sample().RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d csv lines", len(lines))
+	}
+	if lines[0] != "outcome,runs,share" {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "t", Columns: []string{"a"}}
+	tbl.AddRow(`va"l,ue`)
+	var b strings.Builder
+	if err := tbl.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"va""l,ue"`) {
+		t.Errorf("bad escaping: %q", b.String())
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	var b strings.Builder
+	if err := sample().RenderMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "| outcome | runs | share |") {
+		t.Errorf("missing header row:\n%s", out)
+	}
+	if !strings.Contains(out, "|---|---|---|") {
+		t.Errorf("missing separator:\n%s", out)
+	}
+}
+
+func TestMarkdownEscapesPipes(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "t", Columns: []string{"a"}}
+	tbl.AddRow("x|y")
+	var b strings.Builder
+	if err := tbl.RenderMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `x\|y`) {
+		t.Errorf("pipe not escaped: %q", b.String())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := &Table{ID: "", Title: "t", Columns: []string{"a"}}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty ID accepted")
+	}
+	bad2 := &Table{ID: "X", Title: "t"}
+	if err := bad2.Validate(); err == nil {
+		t.Error("no columns accepted")
+	}
+	bad3 := &Table{ID: "X", Title: "t", Columns: []string{"a", "b"}}
+	bad3.AddRow("only one")
+	if err := bad3.Validate(); err == nil {
+		t.Error("ragged row accepted")
+	}
+	var b strings.Builder
+	if err := bad3.Render(&b); err == nil {
+		t.Error("Render of invalid table succeeded")
+	}
+	if err := bad3.RenderCSV(&b); err == nil {
+		t.Error("RenderCSV of invalid table succeeded")
+	}
+	if err := bad3.RenderMarkdown(&b); err == nil {
+		t.Error("RenderMarkdown of invalid table succeeded")
+	}
+}
+
+func TestCount(t *testing.T) {
+	tests := []struct {
+		give int
+		want string
+	}{
+		{0, "0"},
+		{999, "999"},
+		{1000, "1,000"},
+		{1234567, "1,234,567"},
+		{-42, "-42"},
+		{-1234, "-1,234"},
+		{100, "100"},
+		{1000000, "1,000,000"},
+	}
+	for _, tt := range tests {
+		if got := Count(tt.give); got != tt.want {
+			t.Errorf("Count(%d) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if got := Pct(0.0153); got != "1.53%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := F3(1.23456); got != "1.235" {
+		t.Errorf("F3 = %q", got)
+	}
+	if got := F1(1.26); got != "1.3" {
+		t.Errorf("F1 = %q", got)
+	}
+}

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSample(n int) []float64 {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 10
+	}
+	return xs
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	xs := benchSample(10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Summarize(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWilson(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Wilson(i%1000, 1000, 1.96); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitWeibull(b *testing.B) {
+	xs := benchSample(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitWeibull(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitExponential(b *testing.B) {
+	xs := benchSample(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitExponential(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKaplanMeier(b *testing.B) {
+	xs := benchSample(5000)
+	events := make([]bool, len(xs))
+	for i := range events {
+		events[i] = i%3 != 0
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KaplanMeier(xs, events); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKSStatistic(b *testing.B) {
+	xs := benchSample(5000)
+	cdf := ExpCDF(0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KSStatistic(xs, cdf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

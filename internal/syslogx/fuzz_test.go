@@ -1,0 +1,29 @@
+package syslogx
+
+import "testing"
+
+// FuzzParse checks the syslog line parser never panics and that accepted
+// lines round-trip through Format.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"2013-04-03T12:34:56.123456-05:00 c1-3c2s7n1 kernel: message",
+		"2013-04-03T00:00:00.000000Z smw xtevent: HSS alert",
+		"2013-04-03T00:00:00.000000Z sdb apsys:",
+		"garbage", "", "2013-04-03T00:00:00.000000Z", "a b c: d: e",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		l, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(Format(l))
+		if err != nil {
+			t.Fatalf("accepted %q but reformatted line failed: %v", s, err)
+		}
+		if !back.Time.Equal(l.Time) || back.Host != l.Host || back.Tag != l.Tag || back.Message != l.Message {
+			t.Fatalf("round trip mismatch for %q: %+v vs %+v", s, back, l)
+		}
+	})
+}

@@ -1,0 +1,203 @@
+// Package syslogx reads and writes the syslog-style line format used by the
+// synthesized system logs. The format mirrors the ISO-timestamped logs
+// produced by the Cray Lightweight Log Manager (LLM):
+//
+//	2013-04-03T12:34:56.123456-05:00 c1-3c2s7n1 kernel: <message body>
+//
+// i.e. an RFC 3339 timestamp with microsecond precision, the originating
+// host (a node cname or a service host such as "smw" or "sdb"), a program
+// tag terminated by a colon, and the free-form message body.
+package syslogx
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Line is one parsed syslog record.
+type Line struct {
+	Time time.Time
+	// Host is the originating component: a node cname or service host name.
+	Host string
+	// Tag is the program tag without the trailing colon (e.g. "kernel").
+	Tag string
+	// Message is the free-form body.
+	Message string
+}
+
+// timeLayout is RFC 3339 with microseconds, as written by LLM.
+const timeLayout = "2006-01-02T15:04:05.000000Z07:00"
+
+// Format renders the line in wire format without a trailing newline.
+func Format(l Line) string {
+	var b strings.Builder
+	b.Grow(len(l.Host) + len(l.Tag) + len(l.Message) + 40)
+	b.WriteString(l.Time.Format(timeLayout))
+	b.WriteByte(' ')
+	b.WriteString(l.Host)
+	b.WriteByte(' ')
+	b.WriteString(l.Tag)
+	b.WriteString(": ")
+	b.WriteString(l.Message)
+	return b.String()
+}
+
+// ParseError describes a malformed syslog line.
+type ParseError struct {
+	LineNo int // 1-based, 0 when unknown
+	Line   string
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	if e.LineNo > 0 {
+		return fmt.Sprintf("syslog line %d: %s: %.80q", e.LineNo, e.Reason, e.Line)
+	}
+	return fmt.Sprintf("syslog: %s: %.80q", e.Reason, e.Line)
+}
+
+// Parse parses one wire-format line.
+func Parse(s string) (Line, error) {
+	var l Line
+	ts, rest, ok := strings.Cut(s, " ")
+	if !ok {
+		return l, &ParseError{Line: s, Reason: "missing timestamp field"}
+	}
+	t, err := time.Parse(timeLayout, ts)
+	if err != nil {
+		return l, &ParseError{Line: s, Reason: "bad timestamp: " + err.Error()}
+	}
+	host, rest, ok := strings.Cut(rest, " ")
+	if !ok || host == "" {
+		return l, &ParseError{Line: s, Reason: "missing host field"}
+	}
+	tag, msg, ok := strings.Cut(rest, ": ")
+	if !ok {
+		// Accept a tag with no message body ("tag:").
+		if tagOnly, okColon := strings.CutSuffix(rest, ":"); okColon && !strings.Contains(tagOnly, " ") {
+			tag, msg = tagOnly, ""
+		} else {
+			return l, &ParseError{Line: s, Reason: "missing tag separator"}
+		}
+	}
+	if tag == "" || strings.Contains(tag, " ") {
+		return l, &ParseError{Line: s, Reason: "malformed tag"}
+	}
+	l.Time = t
+	l.Host = host
+	l.Tag = tag
+	l.Message = msg
+	return l, nil
+}
+
+// Writer emits lines in wire format.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+	n   int
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write emits one line. After the first error all subsequent writes are
+// no-ops returning the same error.
+func (w *Writer) Write(l Line) error {
+	if w.err != nil {
+		return w.err
+	}
+	if _, err := w.w.WriteString(Format(l)); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.w.WriteByte('\n'); err != nil {
+		w.err = err
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// WriteRawLine emits s verbatim (plus a newline) without any validation.
+// It exists so archive generators can inject corrupted lines, which real
+// log archives always contain and parsers must tolerate.
+func (w *Writer) WriteRawLine(s string) error {
+	if w.err != nil {
+		return w.err
+	}
+	if _, err := w.w.WriteString(s); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.w.WriteByte('\n'); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// Count returns the number of well-formed lines written so far (raw lines
+// are not counted).
+func (w *Writer) Count() int { return w.n }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.w.Flush()
+	return w.err
+}
+
+// Scanner streams lines from a reader, tolerating (and counting) malformed
+// lines rather than aborting, as real log archives always contain noise.
+type Scanner struct {
+	sc        *bufio.Scanner
+	line      Line
+	lineNo    int
+	malformed int
+	err       error
+}
+
+// NewScanner wraps r.
+func NewScanner(r io.Reader) *Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	return &Scanner{sc: sc}
+}
+
+// Scan advances to the next well-formed line, skipping malformed ones.
+// It returns false at end of input or on a read error.
+func (s *Scanner) Scan() bool {
+	for s.sc.Scan() {
+		s.lineNo++
+		text := s.sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		l, err := Parse(text)
+		if err != nil {
+			s.malformed++
+			continue
+		}
+		s.line = l
+		return true
+	}
+	s.err = s.sc.Err()
+	return false
+}
+
+// Line returns the most recently scanned line.
+func (s *Scanner) Line() Line { return s.line }
+
+// Malformed returns the number of lines skipped as unparseable.
+func (s *Scanner) Malformed() int { return s.malformed }
+
+// Err returns the first read error encountered, if any.
+func (s *Scanner) Err() error { return s.err }

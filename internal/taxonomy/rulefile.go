@@ -1,0 +1,108 @@
+package taxonomy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strings"
+)
+
+// Rule-file format: one rule per line,
+//
+//	<name> <CATEGORY> <SEVERITY> <regex...>
+//
+// whitespace-separated; the regex is everything after the third field and
+// may contain spaces. Blank lines and lines starting with '#' are skipped.
+// Rules apply in file order (first match wins), exactly like the built-in
+// set. This lets a deployment extend or replace the taxonomy without
+// recompiling — the knob a log-analysis tool must expose, because every
+// site's message zoo differs.
+
+// ParseSeverity resolves a severity mnemonic produced by Severity.String.
+func ParseSeverity(s string) (Severity, bool) {
+	switch strings.ToUpper(s) {
+	case "INFO":
+		return SevInfo, true
+	case "WARN", "WARNING":
+		return SevWarning, true
+	case "ERROR":
+		return SevError, true
+	case "CRIT", "CRITICAL":
+		return SevCritical, true
+	default:
+		return 0, false
+	}
+}
+
+// ReadRules parses a rule file. It fails on the first malformed line with
+// a line-numbered error.
+func ReadRules(r io.Reader) ([]Rule, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var rules []Rule
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Split off exactly three leading fields; the rest is the regex
+		// (which may itself contain spaces or the same tokens).
+		rest := line
+		var head [3]string
+		ok := true
+		for i := range head {
+			rest = strings.TrimLeft(rest, " \t")
+			cut := strings.IndexAny(rest, " \t")
+			if cut < 0 {
+				ok = false
+				break
+			}
+			head[i] = rest[:cut]
+			rest = rest[cut:]
+		}
+		pattern := strings.TrimSpace(rest)
+		if !ok || pattern == "" {
+			return nil, fmt.Errorf("taxonomy: rule file line %d: want 'name CATEGORY SEVERITY regex', got %q", lineNo, line)
+		}
+		name := head[0]
+		cat, ok := ParseCategory(head[1])
+		if !ok {
+			return nil, fmt.Errorf("taxonomy: rule file line %d: unknown category %q", lineNo, head[1])
+		}
+		sev, ok := ParseSeverity(head[2])
+		if !ok {
+			return nil, fmt.Errorf("taxonomy: rule file line %d: unknown severity %q", lineNo, head[2])
+		}
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			return nil, fmt.Errorf("taxonomy: rule file line %d: bad regex: %w", lineNo, err)
+		}
+		rules = append(rules, Rule{Name: name, Pattern: re, Category: cat, Severity: sev})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("taxonomy: rule file: %w", err)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("taxonomy: rule file contains no rules")
+	}
+	return rules, nil
+}
+
+// WriteRules renders rules in the rule-file format, one per line.
+func WriteRules(w io.Writer, rules []Rule) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range rules {
+		name := r.Name
+		if name == "" {
+			name = "unnamed"
+		}
+		if _, err := fmt.Fprintf(bw, "%s %s %s %s\n",
+			name, r.Category, r.Severity, r.Pattern.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

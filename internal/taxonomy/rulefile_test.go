@@ -1,0 +1,135 @@
+package taxonomy_test
+
+import (
+	"strings"
+	"testing"
+
+	"logdiver/internal/taxonomy"
+)
+
+func TestReadRulesBasic(t *testing.T) {
+	input := `
+# site-specific additions
+gpu-thermal GPU_BUS CRIT (?i)gpu thermal shutdown
+raid-fault FS_UNAVAIL ERROR raid array degraded
+`
+	rules, err := taxonomy.ReadRules(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("got %d rules", len(rules))
+	}
+	cls := taxonomy.NewClassifier(rules)
+	cat, sev := cls.Classify("GPU Thermal Shutdown initiated")
+	if cat != taxonomy.GPUBusOff || sev != taxonomy.SevCritical {
+		t.Errorf("got (%v,%v)", cat, sev)
+	}
+	cat, sev = cls.Classify("raid array degraded on oss12")
+	if cat != taxonomy.FilesystemUnavail || sev != taxonomy.SevError {
+		t.Errorf("got (%v,%v)", cat, sev)
+	}
+}
+
+func TestReadRulesSeverityTokenInName(t *testing.T) {
+	// A rule whose NAME contains a severity/category token must still
+	// split correctly.
+	input := "CRIT-watcher KERNEL_PANIC CRIT panic pattern here\n"
+	rules, err := taxonomy.ReadRules(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules[0].Name != "CRIT-watcher" {
+		t.Errorf("Name = %q", rules[0].Name)
+	}
+	if got := rules[0].Pattern.String(); got != "panic pattern here" {
+		t.Errorf("pattern = %q", got)
+	}
+}
+
+func TestReadRulesRegexWithSpaces(t *testing.T) {
+	input := "r1 KERNEL_PANIC CRIT kernel panic - not syncing\n"
+	rules, err := taxonomy.ReadRules(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rules[0].Pattern.String(); got != "kernel panic - not syncing" {
+		t.Errorf("pattern = %q", got)
+	}
+}
+
+func TestReadRulesErrors(t *testing.T) {
+	bad := []string{
+		"too few fields\n",
+		"r1 NOT_A_CATEGORY CRIT x\n",
+		"r1 KERNEL_PANIC LOUD x\n",
+		"r1 KERNEL_PANIC CRIT [unclosed\n",
+		"",          // empty file
+		"# only\n ", // comments only
+	}
+	for _, input := range bad {
+		if _, err := taxonomy.ReadRules(strings.NewReader(input)); err == nil {
+			t.Errorf("ReadRules(%q) succeeded, want error", input)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	orig := taxonomy.Default().Rules()
+	var buf strings.Builder
+	if err := taxonomy.WriteRules(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := taxonomy.ReadRules(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("round trip %d rules, want %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if back[i].Category != orig[i].Category || back[i].Severity != orig[i].Severity {
+			t.Errorf("rule %d changed: %v/%v vs %v/%v", i,
+				back[i].Category, back[i].Severity, orig[i].Category, orig[i].Severity)
+		}
+		if back[i].Pattern.String() != orig[i].Pattern.String() {
+			t.Errorf("rule %d pattern changed", i)
+		}
+	}
+	// The round-tripped classifier behaves identically on every template.
+	a := taxonomy.NewClassifier(orig)
+	b := taxonomy.NewClassifier(back)
+	for _, msg := range []string{
+		"Machine Check Exception: uncorrected DRAM error on c0-0c0s0n0 bank 1 addr 0x2",
+		"NVRM: Xid (PCI:0000:02:00): 79, GPU has fallen off the bus.",
+		"random chatter",
+	} {
+		ca, sa := a.Classify(msg)
+		cb, sb := b.Classify(msg)
+		if ca != cb || sa != sb {
+			t.Errorf("classifiers disagree on %q: (%v,%v) vs (%v,%v)", msg, ca, sa, cb, sb)
+		}
+	}
+}
+
+func TestParseSeverity(t *testing.T) {
+	tests := []struct {
+		give string
+		want taxonomy.Severity
+		ok   bool
+	}{
+		{"INFO", taxonomy.SevInfo, true},
+		{"warn", taxonomy.SevWarning, true},
+		{"WARNING", taxonomy.SevWarning, true},
+		{"Error", taxonomy.SevError, true},
+		{"CRIT", taxonomy.SevCritical, true},
+		{"CRITICAL", taxonomy.SevCritical, true},
+		{"LOUD", 0, false},
+	}
+	for _, tt := range tests {
+		got, ok := taxonomy.ParseSeverity(tt.give)
+		if ok != tt.ok || (ok && got != tt.want) {
+			t.Errorf("ParseSeverity(%q) = (%v,%v)", tt.give, got, ok)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package wlm
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzParseRecord checks the accounting parser never panics and that
+// accepted records survive the assembler.
+func FuzzParseRecord(f *testing.F) {
+	for _, seed := range []string{
+		"04/03/2013 12:00:00;E;123.bw;user=alice Exit_status=0",
+		"04/03/2013 12:00:00;Q;123.bw;",
+		"04/03/2013 12:00:00;S;123.bw;Resource_List.nodect=16 Resource_List.walltime=01:00:00",
+		";;;", "", "bad;E;1;x=y", "04/03/2013 12:00:00;Z;1;x=y",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		rec, err := ParseRecord(s, time.UTC)
+		if err != nil {
+			return
+		}
+		a := NewAssembler()
+		if err := a.Add(rec); err != nil {
+			t.Fatalf("assembler rejected parsed record from %q: %v", s, err)
+		}
+		if a.Len() != 1 {
+			t.Fatalf("assembler has %d jobs after one record", a.Len())
+		}
+	})
+}
+
+// FuzzParseWalltime checks the HH:MM:SS parser never panics and round-trips.
+func FuzzParseWalltime(f *testing.F) {
+	for _, seed := range []string{"00:00:00", "48:00:05", "1:2", "aa:bb:cc", "-1:00:00", ""} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ParseWalltime(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseWalltime(FormatWalltime(d))
+		if err != nil || back != d {
+			t.Fatalf("round trip %q -> %v -> (%v, %v)", s, d, back, err)
+		}
+	})
+}

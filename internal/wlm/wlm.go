@@ -1,0 +1,390 @@
+// Package wlm models the workload-manager (Torque/Moab-style) job accounting
+// log: the per-job queue/start/end records from which the analysis derives
+// job populations, requested resources and batch exit status. The wire
+// format follows the PBS/Torque accounting-record convention:
+//
+//	04/03/2013 12:00:00;E;123456.bw;user=alice queue=normal ctime=1364996400 ... Exit_status=0
+//
+// i.e. a timestamp, a record-type letter, the job ID, and a space-separated
+// key=value field list, all joined by semicolons.
+package wlm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// EventType is the accounting record type letter.
+type EventType byte
+
+// Accounting record types (the subset the analysis consumes).
+const (
+	EventQueue  EventType = 'Q' // job entered the queue
+	EventStart  EventType = 'S' // job started
+	EventEnd    EventType = 'E' // job ended (normally or not)
+	EventAbort  EventType = 'A' // job aborted by the server
+	EventDelete EventType = 'D' // job deleted by user or operator
+)
+
+// Valid reports whether t is a known record type.
+func (t EventType) Valid() bool {
+	switch t {
+	case EventQueue, EventStart, EventEnd, EventAbort, EventDelete:
+		return true
+	default:
+		return false
+	}
+}
+
+// Record is one raw accounting record.
+type Record struct {
+	Time   time.Time
+	Type   EventType
+	JobID  string
+	Fields map[string]string
+}
+
+const stampLayout = "01/02/2006 15:04:05"
+
+// FormatRecord renders the record in accounting wire format. Field keys are
+// emitted in sorted order so output is deterministic.
+func FormatRecord(r Record) string {
+	var b strings.Builder
+	b.Grow(64 + 24*len(r.Fields))
+	b.WriteString(r.Time.Format(stampLayout))
+	b.WriteByte(';')
+	b.WriteByte(byte(r.Type))
+	b.WriteByte(';')
+	b.WriteString(r.JobID)
+	b.WriteByte(';')
+	keys := make([]string, 0, len(r.Fields))
+	for k := range r.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(r.Fields[k])
+	}
+	return b.String()
+}
+
+// ParseRecord parses one accounting line. The location loc is applied to the
+// record timestamp (accounting stamps carry no zone); pass time.UTC when the
+// archive was generated in UTC.
+func ParseRecord(s string, loc *time.Location) (Record, error) {
+	var r Record
+	parts := strings.SplitN(s, ";", 4)
+	if len(parts) != 4 {
+		return r, fmt.Errorf("wlm: record has %d fields, want 4: %.80q", len(parts), s)
+	}
+	t, err := time.ParseInLocation(stampLayout, parts[0], loc)
+	if err != nil {
+		return r, fmt.Errorf("wlm: bad timestamp: %w", err)
+	}
+	if len(parts[1]) != 1 || !EventType(parts[1][0]).Valid() {
+		return r, fmt.Errorf("wlm: bad record type %q", parts[1])
+	}
+	if parts[2] == "" {
+		return r, fmt.Errorf("wlm: empty job id: %.80q", s)
+	}
+	r.Time = t
+	r.Type = EventType(parts[1][0])
+	r.JobID = parts[2]
+	r.Fields = make(map[string]string, 16)
+	if parts[3] != "" {
+		for _, kv := range strings.Fields(parts[3]) {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return r, fmt.Errorf("wlm: malformed field %q", kv)
+			}
+			r.Fields[k] = v
+		}
+	}
+	return r, nil
+}
+
+// Job is the assembled view of one batch job.
+type Job struct {
+	ID        string
+	User      string
+	Account   string
+	Queue     string
+	CreatedAt time.Time // ctime
+	StartedAt time.Time // start
+	EndedAt   time.Time // end
+	// Nodes is the requested node count (Resource_List.nodect).
+	Nodes int
+	// Walltime is the requested wall-clock limit.
+	Walltime time.Duration
+	// UsedWalltime is the consumed wall clock (resources_used.walltime).
+	UsedWalltime time.Duration
+	// ExitStatus is the batch exit status; by Torque convention negative
+	// values denote jobs killed by the server (e.g. -11 for node failure)
+	// and values >= 256 indicate death by signal (status - 256).
+	ExitStatus int
+	// Aborted records whether an A record was seen for the job.
+	Aborted bool
+}
+
+// Walltime formatting helpers (HH:MM:SS, hours may exceed 24).
+
+// FormatWalltime renders d in the HH:MM:SS accounting convention.
+func FormatWalltime(d time.Duration) string {
+	if d < 0 {
+		d = 0
+	}
+	total := int64(d / time.Second)
+	return fmt.Sprintf("%02d:%02d:%02d", total/3600, (total/60)%60, total%60)
+}
+
+// ParseWalltime parses the HH:MM:SS accounting convention.
+func ParseWalltime(s string) (time.Duration, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, fmt.Errorf("wlm: walltime %q not HH:MM:SS", s)
+	}
+	h, err := strconv.Atoi(parts[0])
+	if err != nil || h < 0 {
+		return 0, fmt.Errorf("wlm: walltime hours %q", parts[0])
+	}
+	m, err := strconv.Atoi(parts[1])
+	if err != nil || m < 0 || m > 59 {
+		return 0, fmt.Errorf("wlm: walltime minutes %q", parts[1])
+	}
+	sec, err := strconv.Atoi(parts[2])
+	if err != nil || sec < 0 || sec > 59 {
+		return 0, fmt.Errorf("wlm: walltime seconds %q", parts[2])
+	}
+	return time.Duration(h)*time.Hour + time.Duration(m)*time.Minute + time.Duration(sec)*time.Second, nil
+}
+
+// EndRecord renders the canonical E record for a completed job.
+func EndRecord(j Job) Record {
+	f := map[string]string{
+		"user":                    j.User,
+		"account":                 j.Account,
+		"queue":                   j.Queue,
+		"ctime":                   strconv.FormatInt(j.CreatedAt.Unix(), 10),
+		"start":                   strconv.FormatInt(j.StartedAt.Unix(), 10),
+		"end":                     strconv.FormatInt(j.EndedAt.Unix(), 10),
+		"Resource_List.nodect":    strconv.Itoa(j.Nodes),
+		"Resource_List.walltime":  FormatWalltime(j.Walltime),
+		"resources_used.walltime": FormatWalltime(j.UsedWalltime),
+		"Exit_status":             strconv.Itoa(j.ExitStatus),
+	}
+	return Record{Time: j.EndedAt, Type: EventEnd, JobID: j.ID, Fields: f}
+}
+
+// QueueRecord renders the Q record for a job.
+func QueueRecord(j Job) Record {
+	return Record{Time: j.CreatedAt, Type: EventQueue, JobID: j.ID, Fields: map[string]string{
+		"user":  j.User,
+		"queue": j.Queue,
+	}}
+}
+
+// StartRecord renders the S record for a job.
+func StartRecord(j Job) Record {
+	return Record{Time: j.StartedAt, Type: EventStart, JobID: j.ID, Fields: map[string]string{
+		"user":                   j.User,
+		"queue":                  j.Queue,
+		"Resource_List.nodect":   strconv.Itoa(j.Nodes),
+		"Resource_List.walltime": FormatWalltime(j.Walltime),
+	}}
+}
+
+// Assembler folds a stream of accounting records into Job objects.
+type Assembler struct {
+	jobs map[string]*Job
+}
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{jobs: make(map[string]*Job)}
+}
+
+// Add folds one record into the assembler. Unknown field values are ignored
+// rather than treated as errors: field sets vary across WLM versions.
+func (a *Assembler) Add(r Record) error {
+	if r.JobID == "" {
+		return fmt.Errorf("wlm: record with empty job id")
+	}
+	j := a.jobs[r.JobID]
+	if j == nil {
+		j = &Job{ID: r.JobID}
+		a.jobs[r.JobID] = j
+	}
+	setIf := func(dst *string, key string) {
+		if v, ok := r.Fields[key]; ok && v != "" {
+			*dst = v
+		}
+	}
+	setIf(&j.User, "user")
+	setIf(&j.Account, "account")
+	setIf(&j.Queue, "queue")
+	if v, ok := r.Fields["ctime"]; ok {
+		if sec, err := strconv.ParseInt(v, 10, 64); err == nil {
+			j.CreatedAt = time.Unix(sec, 0).UTC()
+		}
+	}
+	if v, ok := r.Fields["start"]; ok {
+		if sec, err := strconv.ParseInt(v, 10, 64); err == nil {
+			j.StartedAt = time.Unix(sec, 0).UTC()
+		}
+	}
+	if v, ok := r.Fields["end"]; ok {
+		if sec, err := strconv.ParseInt(v, 10, 64); err == nil {
+			j.EndedAt = time.Unix(sec, 0).UTC()
+		}
+	}
+	if v, ok := r.Fields["Resource_List.nodect"]; ok {
+		if n, err := strconv.Atoi(v); err == nil {
+			j.Nodes = n
+		}
+	}
+	if v, ok := r.Fields["Resource_List.walltime"]; ok {
+		if d, err := ParseWalltime(v); err == nil {
+			j.Walltime = d
+		}
+	}
+	if v, ok := r.Fields["resources_used.walltime"]; ok {
+		if d, err := ParseWalltime(v); err == nil {
+			j.UsedWalltime = d
+		}
+	}
+	if v, ok := r.Fields["Exit_status"]; ok {
+		if n, err := strconv.Atoi(v); err == nil {
+			j.ExitStatus = n
+		}
+	}
+	switch r.Type {
+	case EventStart:
+		if j.StartedAt.IsZero() {
+			j.StartedAt = r.Time
+		}
+	case EventEnd:
+		if j.EndedAt.IsZero() {
+			j.EndedAt = r.Time
+		}
+	case EventAbort:
+		j.Aborted = true
+	}
+	return nil
+}
+
+// Jobs returns the assembled jobs sorted by start time then ID.
+func (a *Assembler) Jobs() []Job {
+	out := make([]Job, 0, len(a.jobs))
+	for _, j := range a.jobs {
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].StartedAt.Equal(out[k].StartedAt) {
+			return out[i].StartedAt.Before(out[k].StartedAt)
+		}
+		return out[i].ID < out[k].ID
+	})
+	return out
+}
+
+// Len returns the number of distinct jobs seen.
+func (a *Assembler) Len() int { return len(a.jobs) }
+
+// Writer emits accounting records.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+	n   int
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write emits one record.
+func (w *Writer) Write(r Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	if _, err := w.w.WriteString(FormatRecord(r)); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.w.WriteByte('\n'); err != nil {
+		w.err = err
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() int { return w.n }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.w.Flush()
+	return w.err
+}
+
+// Scanner streams records from an accounting archive, skipping malformed
+// lines.
+type Scanner struct {
+	sc        *bufio.Scanner
+	loc       *time.Location
+	rec       Record
+	malformed int
+	err       error
+}
+
+// NewScanner wraps r; timestamps are interpreted in loc (UTC if nil).
+func NewScanner(r io.Reader, loc *time.Location) *Scanner {
+	if loc == nil {
+		loc = time.UTC
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	return &Scanner{sc: sc, loc: loc}
+}
+
+// Scan advances to the next well-formed record.
+func (s *Scanner) Scan() bool {
+	for s.sc.Scan() {
+		text := s.sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		rec, err := ParseRecord(text, s.loc)
+		if err != nil {
+			s.malformed++
+			continue
+		}
+		s.rec = rec
+		return true
+	}
+	s.err = s.sc.Err()
+	return false
+}
+
+// Record returns the most recently scanned record.
+func (s *Scanner) Record() Record { return s.rec }
+
+// Malformed returns the number of skipped lines.
+func (s *Scanner) Malformed() int { return s.malformed }
+
+// Err returns the first read error, if any.
+func (s *Scanner) Err() error { return s.err }

@@ -1,0 +1,270 @@
+package wlm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleJob() Job {
+	return Job{
+		ID:           "123456.bw",
+		User:         "alice",
+		Account:      "geo_sim",
+		Queue:        "normal",
+		CreatedAt:    time.Date(2013, 4, 3, 10, 0, 0, 0, time.UTC),
+		StartedAt:    time.Date(2013, 4, 3, 12, 0, 0, 0, time.UTC),
+		EndedAt:      time.Date(2013, 4, 3, 14, 30, 0, 0, time.UTC),
+		Nodes:        128,
+		Walltime:     4 * time.Hour,
+		UsedWalltime: 2*time.Hour + 30*time.Minute,
+		ExitStatus:   0,
+	}
+}
+
+func TestFormatParseRecordRoundTrip(t *testing.T) {
+	rec := EndRecord(sampleJob())
+	wire := FormatRecord(rec)
+	got, err := ParseRecord(wire, time.UTC)
+	if err != nil {
+		t.Fatalf("ParseRecord(%q): %v", wire, err)
+	}
+	if !got.Time.Equal(rec.Time) || got.Type != rec.Type || got.JobID != rec.JobID {
+		t.Errorf("header round trip: got %+v, want %+v", got, rec)
+	}
+	for k, v := range rec.Fields {
+		if got.Fields[k] != v {
+			t.Errorf("field %q = %q, want %q", k, got.Fields[k], v)
+		}
+	}
+}
+
+func TestFormatRecordDeterministic(t *testing.T) {
+	rec := EndRecord(sampleJob())
+	a := FormatRecord(rec)
+	b := FormatRecord(rec)
+	if a != b {
+		t.Errorf("FormatRecord not deterministic:\n%s\n%s", a, b)
+	}
+}
+
+func TestParseRecordErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"04/03/2013 12:00:00;E;123.bw", // missing field section
+		"not a time;E;123.bw;user=x",
+		"04/03/2013 12:00:00;Z;123.bw;user=x", // bad type
+		"04/03/2013 12:00:00;E;;user=x",       // empty job id
+		"04/03/2013 12:00:00;E;123.bw;garbagefield",
+	}
+	for _, s := range bad {
+		if _, err := ParseRecord(s, time.UTC); err == nil {
+			t.Errorf("ParseRecord(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestEventTypeValid(t *testing.T) {
+	for _, typ := range []EventType{EventQueue, EventStart, EventEnd, EventAbort, EventDelete} {
+		if !typ.Valid() {
+			t.Errorf("%c should be valid", typ)
+		}
+	}
+	if EventType('Z').Valid() {
+		t.Error("Z should be invalid")
+	}
+}
+
+func TestWalltimeRoundTrip(t *testing.T) {
+	tests := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "00:00:00"},
+		{time.Second, "00:00:01"},
+		{90 * time.Minute, "01:30:00"},
+		{48*time.Hour + 5*time.Second, "48:00:05"},
+		{-time.Hour, "00:00:00"}, // clamped
+	}
+	for _, tt := range tests {
+		got := FormatWalltime(tt.d)
+		if got != tt.want {
+			t.Errorf("FormatWalltime(%v) = %q, want %q", tt.d, got, tt.want)
+		}
+		back, err := ParseWalltime(got)
+		if err != nil {
+			t.Fatalf("ParseWalltime(%q): %v", got, err)
+		}
+		wantBack := tt.d
+		if wantBack < 0 {
+			wantBack = 0
+		}
+		if back != wantBack {
+			t.Errorf("round trip %v -> %q -> %v", tt.d, got, back)
+		}
+	}
+}
+
+func TestParseWalltimeErrors(t *testing.T) {
+	for _, s := range []string{"", "1:2", "aa:00:00", "00:99:00", "00:00:61", "-1:00:00"} {
+		if _, err := ParseWalltime(s); err == nil {
+			t.Errorf("ParseWalltime(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestWalltimePropertyRoundTrip(t *testing.T) {
+	f := func(secs uint32) bool {
+		d := time.Duration(secs%((1000*3600)+1)) * time.Second
+		back, err := ParseWalltime(FormatWalltime(d))
+		return err == nil && back == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssemblerFullLifecycle(t *testing.T) {
+	j := sampleJob()
+	a := NewAssembler()
+	for _, rec := range []Record{QueueRecord(j), StartRecord(j), EndRecord(j)} {
+		if err := a.Add(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", a.Len())
+	}
+	jobs := a.Jobs()
+	got := jobs[0]
+	if got.ID != j.ID || got.User != j.User || got.Queue != j.Queue {
+		t.Errorf("identity fields: got %+v", got)
+	}
+	if !got.StartedAt.Equal(j.StartedAt) || !got.EndedAt.Equal(j.EndedAt) || !got.CreatedAt.Equal(j.CreatedAt) {
+		t.Errorf("times: got %+v", got)
+	}
+	if got.Nodes != j.Nodes || got.Walltime != j.Walltime || got.UsedWalltime != j.UsedWalltime {
+		t.Errorf("resources: got %+v", got)
+	}
+	if got.ExitStatus != 0 || got.Aborted {
+		t.Errorf("status: got %+v", got)
+	}
+}
+
+func TestAssemblerAbort(t *testing.T) {
+	j := sampleJob()
+	j.ExitStatus = -11 // node failure convention
+	a := NewAssembler()
+	if err := a.Add(StartRecord(j)); err != nil {
+		t.Fatal(err)
+	}
+	abort := Record{Time: j.EndedAt, Type: EventAbort, JobID: j.ID, Fields: nil}
+	if err := a.Add(abort); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Add(EndRecord(j)); err != nil {
+		t.Fatal(err)
+	}
+	got := a.Jobs()[0]
+	if !got.Aborted {
+		t.Error("Aborted not set")
+	}
+	if got.ExitStatus != -11 {
+		t.Errorf("ExitStatus = %d, want -11", got.ExitStatus)
+	}
+}
+
+func TestAssemblerRejectsEmptyJobID(t *testing.T) {
+	a := NewAssembler()
+	if err := a.Add(Record{Type: EventQueue}); err == nil {
+		t.Error("Add with empty job id succeeded")
+	}
+}
+
+func TestAssemblerSortsJobs(t *testing.T) {
+	a := NewAssembler()
+	base := time.Date(2013, 4, 3, 0, 0, 0, 0, time.UTC)
+	for i, id := range []string{"30.bw", "10.bw", "20.bw"} {
+		j := sampleJob()
+		j.ID = id
+		j.StartedAt = base.Add(time.Duration(len("xxx")-i) * time.Hour)
+		if err := a.Add(StartRecord(j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jobs := a.Jobs()
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i-1].StartedAt.After(jobs[i].StartedAt) {
+			t.Errorf("jobs not sorted by start: %v after %v", jobs[i-1].StartedAt, jobs[i].StartedAt)
+		}
+	}
+}
+
+func TestWriterScannerRoundTrip(t *testing.T) {
+	var buf strings.Builder
+	w := NewWriter(&buf)
+	const n = 50
+	for i := 0; i < n; i++ {
+		j := sampleJob()
+		j.ID = strings.Repeat("1", 1+i%3) + ".bw"
+		j.StartedAt = j.StartedAt.Add(time.Duration(i) * time.Minute)
+		if err := w.Write(EndRecord(j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != n {
+		t.Errorf("Count = %d, want %d", w.Count(), n)
+	}
+
+	sc := NewScanner(strings.NewReader(buf.String()), time.UTC)
+	var got int
+	for sc.Scan() {
+		got++
+		if sc.Record().Type != EventEnd {
+			t.Errorf("record %d type %c, want E", got, sc.Record().Type)
+		}
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	if got != n {
+		t.Errorf("scanned %d, want %d", got, n)
+	}
+	if sc.Malformed() != 0 {
+		t.Errorf("Malformed = %d", sc.Malformed())
+	}
+}
+
+func TestScannerSkipsNoise(t *testing.T) {
+	good := FormatRecord(EndRecord(sampleJob()))
+	input := "junk\n" + good + "\n\nmore junk\n" + good + "\n"
+	sc := NewScanner(strings.NewReader(input), time.UTC)
+	var got int
+	for sc.Scan() {
+		got++
+	}
+	if got != 2 || sc.Malformed() != 2 {
+		t.Errorf("got %d records, %d malformed; want 2, 2", got, sc.Malformed())
+	}
+}
+
+func TestEndRecordSignalConvention(t *testing.T) {
+	j := sampleJob()
+	j.ExitStatus = 256 + 9 // killed by SIGKILL
+	rec := EndRecord(j)
+	got, err := ParseRecord(FormatRecord(rec), time.UTC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAssembler()
+	if err := a.Add(got); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Jobs()[0].ExitStatus; st != 265 {
+		t.Errorf("ExitStatus = %d, want 265", st)
+	}
+}

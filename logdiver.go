@@ -1,0 +1,172 @@
+// Package logdiver is a reproduction of the measurement system behind
+// "Measuring and Understanding Extreme-Scale Application Resilience: A Field
+// Study of 5,000,000 HPC Application Runs" (Di Martino, Kramer, Kalbarczyk,
+// Iyer — DSN 2015). It provides:
+//
+//   - a LogDiver-style analysis pipeline that joins workload accounting
+//     logs, ALPS application logs and syslog error archives to attribute
+//     every application run's outcome (success / user failure / walltime /
+//     system failure) to an error category;
+//   - the full supporting substrate: a Cray XE/XK machine model with cname
+//     topology, parsers and writers for all three log formats, an error
+//     taxonomy and classifier, temporal/spatial log coalescing, a node-time
+//     event index, and a statistics toolkit;
+//   - a calibrated field-data synthesizer that stands in for the
+//     proprietary Blue Waters archives, emitting raw logs in the native
+//     formats plus a withheld ground truth; and
+//   - an experiment harness regenerating every table and figure of the
+//     study's evaluation.
+//
+// Quick start:
+//
+//	cfg := logdiver.ScaledGeneratorConfig(7) // one week of production
+//	ds, err := logdiver.Generate(cfg)
+//	// handle err
+//	res, err := logdiver.AnalyzeDataset(ds, logdiver.Options{})
+//	// handle err
+//	b := logdiver.Outcomes(res.Runs)
+//	fmt.Printf("system-failure fraction: %.2f%%\n", 100*b.SystemFailureFraction())
+//
+// The same pipeline consumes real text archives through Analyze, which
+// reads Torque accounting, apsys and syslog streams.
+package logdiver
+
+import (
+	"logdiver/internal/core"
+	"logdiver/internal/correlate"
+	"logdiver/internal/errlog"
+	"logdiver/internal/gen"
+	"logdiver/internal/machine"
+	"logdiver/internal/metrics"
+	"logdiver/internal/report"
+	"logdiver/internal/taxonomy"
+)
+
+// Re-exported types. Aliases keep the public surface in one place while the
+// implementations live in focused internal packages.
+type (
+	// MachineConfig sizes the modeled Cray system.
+	MachineConfig = machine.Config
+	// Topology describes every node of the machine.
+	Topology = machine.Topology
+	// NodeClass distinguishes XE (CPU), XK (hybrid) and service nodes.
+	NodeClass = machine.NodeClass
+	// NodeID is a dense machine-wide node index.
+	NodeID = machine.NodeID
+
+	// GeneratorConfig configures the field-data synthesizer.
+	GeneratorConfig = gen.Config
+	// Dataset is a synthesized archive plus ground truth.
+	Dataset = gen.Dataset
+	// Truth is the per-run ground-truth record.
+	Truth = gen.Truth
+
+	// Archives bundles the three raw log streams.
+	Archives = core.Archives
+	// Options tunes the analysis pipeline.
+	Options = core.Options
+	// Result is the pipeline output.
+	Result = core.Result
+	// ParseStats reports archive hygiene.
+	ParseStats = core.ParseStats
+
+	// AttributedRun is an application run with its outcome attribution.
+	AttributedRun = correlate.AttributedRun
+	// Outcome classifies how a run ended.
+	Outcome = correlate.Outcome
+	// CorrelateConfig tunes the attribution join.
+	CorrelateConfig = correlate.Config
+
+	// Event is one classified error event.
+	Event = errlog.Event
+	// Category is an error-taxonomy leaf.
+	Category = taxonomy.Category
+	// Severity grades event disruptiveness.
+	Severity = taxonomy.Severity
+
+	// OutcomeBreakdown aggregates runs by outcome.
+	OutcomeBreakdown = metrics.OutcomeBreakdown
+	// ScaleBucket is one point of a failure-probability curve.
+	ScaleBucket = metrics.ScaleBucket
+	// Coverage quantifies detection coverage against ground truth.
+	Coverage = metrics.Coverage
+
+	// Table is a rendered experiment artifact.
+	Table = report.Table
+)
+
+// Node classes.
+const (
+	ClassXE      = machine.ClassXE
+	ClassXK      = machine.ClassXK
+	ClassService = machine.ClassService
+)
+
+// Outcomes.
+const (
+	OutcomeSuccess       = correlate.OutcomeSuccess
+	OutcomeUserFailure   = correlate.OutcomeUserFailure
+	OutcomeWalltime      = correlate.OutcomeWalltime
+	OutcomeSystemFailure = correlate.OutcomeSystemFailure
+)
+
+// BlueWaters returns the measured system's machine configuration: 288
+// cabinets, 22,636 usable XE nodes and 4,224 XK hybrid nodes.
+func BlueWaters() MachineConfig { return machine.BlueWaters() }
+
+// SmallMachine returns a 1,536-node configuration for tests and examples.
+func SmallMachine() MachineConfig { return machine.Small() }
+
+// NewTopology builds the node-level topology for a machine configuration.
+func NewTopology(cfg MachineConfig) (*Topology, error) { return machine.New(cfg) }
+
+// DefaultGeneratorConfig returns the full 518-day Blue Waters-shaped
+// synthesizer configuration used for the headline experiments.
+func DefaultGeneratorConfig() GeneratorConfig { return gen.Default() }
+
+// ScaledGeneratorConfig returns the default configuration scaled to the
+// given number of production days.
+func ScaledGeneratorConfig(days int) GeneratorConfig { return gen.Scaled(days) }
+
+// Generate synthesizes a dataset: workload, fault timeline, logs and truth.
+func Generate(cfg GeneratorConfig) (*Dataset, error) { return gen.Generate(cfg) }
+
+// Analyze runs the pipeline over raw text archives.
+func Analyze(a Archives, top *Topology, opts Options) (*Result, error) {
+	return core.Analyze(a, top, opts)
+}
+
+// AnalyzeDataset runs the pipeline over an in-memory dataset, skipping
+// serialization. Attribution is identical to the text path (tested).
+func AnalyzeDataset(ds *Dataset, opts Options) (*Result, error) {
+	return core.AnalyzeParsed(ds.Jobs, ds.Runs, ds.Events, ds.Topology, opts)
+}
+
+// Outcomes aggregates attributed runs by outcome: the headline breakdown.
+func Outcomes(runs []AttributedRun) OutcomeBreakdown { return metrics.Outcomes(runs) }
+
+// FailureProbabilityByScale estimates P(system failure) per placement-size
+// bucket with Wilson confidence intervals. bounds are ascending bucket
+// edges; classFilter restricts the population (0 accepts every class).
+func FailureProbabilityByScale(runs []AttributedRun, bounds []int, classFilter NodeClass) ([]ScaleBucket, error) {
+	return metrics.FailureProbabilityByScale(runs, bounds, classFilter)
+}
+
+// GeometricBuckets returns power-of-two bucket edges up to max.
+func GeometricBuckets(max int) []int { return metrics.GeometricBuckets(max) }
+
+// DetectionCoverage compares attribution with ground truth for one node
+// class (0 accepts every class). truth maps apid to "truly system-caused".
+func DetectionCoverage(runs []AttributedRun, truth map[uint64]bool, classFilter NodeClass) Coverage {
+	return metrics.DetectionCoverage(runs, truth, classFilter)
+}
+
+// TrueSystemFailures projects a dataset's ground truth onto the boolean
+// form DetectionCoverage consumes.
+func TrueSystemFailures(ds *Dataset) map[uint64]bool {
+	out := make(map[uint64]bool, len(ds.Truth))
+	for id, tr := range ds.Truth {
+		out[id] = tr.Outcome == OutcomeSystemFailure
+	}
+	return out
+}
