@@ -250,6 +250,82 @@ func BenchmarkAnalyzeArchives(b *testing.B) {
 	}
 }
 
+// ingestState is the raw-text fixture for the ingestion benchmarks: a
+// 30-day archive set rendered once and shared by every sub-benchmark.
+type ingestState struct {
+	ds            *logdiver.Dataset
+	acc, aps, sys string
+}
+
+var (
+	ingestOnce  sync.Once
+	ingestBench ingestState
+)
+
+// ingestFixture synthesizes a 30-day small-machine span with the benign
+// noise rate raised so the syslog archive is parse-dominated (several MB of
+// classified lines), which is what parallel ingestion shards.
+func ingestFixture(b *testing.B) *ingestState {
+	b.Helper()
+	ingestOnce.Do(func() {
+		cfg := logdiver.ScaledGeneratorConfig(30)
+		cfg.Machine = logdiver.SmallMachine()
+		cfg.Seed = 5
+		cfg.Workload.JobsPerDay = 400
+		cfg.Workload.XECapabilitySizes = []int{256, 512, 900}
+		cfg.Workload.XKCapabilitySizes = []int{64, 160}
+		cfg.Workload.FullScaleKneeXE = 512
+		cfg.Workload.FullScaleKneeXK = 160
+		cfg.Workload.SmallSizeMax = 96
+		cfg.Rates.NodeBenignPerNodeHour *= 50
+		ds, err := logdiver.Generate(cfg)
+		if err != nil {
+			panic(err)
+		}
+		var acc, aps, sys strings.Builder
+		if err := ds.WriteAccounting(&acc); err != nil {
+			panic(err)
+		}
+		if err := ds.WriteApsys(&aps); err != nil {
+			panic(err)
+		}
+		if err := ds.WriteErrorLog(&sys); err != nil {
+			panic(err)
+		}
+		ingestBench = ingestState{ds: ds, acc: acc.String(), aps: aps.String(), sys: sys.String()}
+	})
+	return &ingestBench
+}
+
+func benchAnalyze(b *testing.B, f *ingestState, parallelism int) {
+	b.Helper()
+	b.SetBytes(int64(len(f.acc) + len(f.aps) + len(f.sys)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := logdiver.Analyze(logdiver.Archives{
+			Accounting: strings.NewReader(f.acc),
+			Apsys:      strings.NewReader(f.aps),
+			Syslog:     strings.NewReader(f.sys),
+		}, f.ds.Topology, logdiver.Options{Parallelism: parallelism})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Runs) != len(f.ds.Runs) {
+			b.Fatal("run count mismatch")
+		}
+	}
+}
+
+// BenchmarkAnalyze measures the raw-text pipeline on a 30-day archive set,
+// sequential vs parallel ingestion. cmd/benchgate compares the two
+// sub-benchmarks and fails CI when the parallel path regresses on a
+// multi-core runner (GOMAXPROCS >= 4).
+func BenchmarkAnalyze(b *testing.B) {
+	f := ingestFixture(b)
+	b.Run("serial", func(b *testing.B) { benchAnalyze(b, f, 1) })
+	b.Run("parallel", func(b *testing.B) { benchAnalyze(b, f, 0) })
+}
+
 // BenchmarkSyslogParse measures raw line-parser throughput.
 func BenchmarkSyslogParse(b *testing.B) {
 	f := benchFixture(b)

@@ -1,0 +1,218 @@
+// Command benchgate turns `go test -bench` output into a benchmark-
+// regression gate for the parallel ingestion path.
+//
+// It parses the standard benchmark output format, records every benchmark
+// (best-of-count ns/op, B/op, allocs/op, MB/s) into a JSON report, and
+// compares BenchmarkAnalyze/serial against BenchmarkAnalyze/parallel. When
+// the benchmarks ran at GOMAXPROCS >= the enforcement threshold (default 4),
+// benchgate exits nonzero if the parallel path did not reach the required
+// speedup over the serial path; below the threshold the comparison is
+// recorded but not enforced, because a speedup cannot materialize without
+// cores (single-core parallel ingestion degrades to the sequential path by
+// design).
+//
+// Usage:
+//
+//	go test -bench 'BenchmarkAnalyze|...' -benchtime=1x -count=3 -benchmem | tee bench.txt
+//	benchgate -in bench.txt -out BENCH_ingest.json -min-speedup 1.0
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// run is one benchmark line: a name, an iteration count and metric pairs.
+type run struct {
+	NsPerOp     float64
+	BytesPerOp  float64
+	AllocsPerOp float64
+	MBPerSec    float64
+}
+
+// summary is the per-benchmark aggregate written to the report: the best
+// (minimum) ns/op across -count repetitions, with the other metrics taken
+// from that fastest run.
+type summary struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+}
+
+// report is the BENCH_ingest.json schema.
+type report struct {
+	Procs      int       `json:"procs"`
+	Enforced   bool      `json:"enforced"`
+	MinSpeedup float64   `json:"min_speedup"`
+	Speedup    float64   `json:"speedup,omitempty"`
+	Serial     *summary  `json:"serial,omitempty"`
+	Parallel   *summary  `json:"parallel,omitempty"`
+	Benchmarks []summary `json:"benchmarks"`
+}
+
+func main() {
+	if err := realMain(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain() error {
+	var (
+		in         = flag.String("in", "-", "benchmark output file (- for stdin)")
+		out        = flag.String("out", "BENCH_ingest.json", "JSON report path (- for stdout)")
+		minSpeedup = flag.Float64("min-speedup", 1.0, "required parallel-over-serial speedup when enforcing")
+		minProcs   = flag.Int("min-procs", 4, "enforce the speedup only at GOMAXPROCS >= this")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	sums, err := parseBench(r)
+	if err != nil {
+		return err
+	}
+	if len(sums) == 0 {
+		return fmt.Errorf("no benchmark lines found in %s", *in)
+	}
+
+	rep := report{MinSpeedup: *minSpeedup, Benchmarks: sums}
+	for i := range sums {
+		if rep.Procs < sums[i].Procs {
+			rep.Procs = sums[i].Procs
+		}
+		switch sums[i].Name {
+		case "BenchmarkAnalyze/serial":
+			rep.Serial = &sums[i]
+		case "BenchmarkAnalyze/parallel":
+			rep.Parallel = &sums[i]
+		}
+	}
+	if rep.Serial != nil && rep.Parallel != nil && rep.Parallel.NsPerOp > 0 {
+		rep.Speedup = rep.Serial.NsPerOp / rep.Parallel.NsPerOp
+	}
+	rep.Enforced = rep.Procs >= *minProcs
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+
+	if rep.Serial == nil || rep.Parallel == nil {
+		return fmt.Errorf("missing BenchmarkAnalyze/serial or /parallel in input")
+	}
+	fmt.Fprintf(os.Stderr, "benchgate: serial %.0f ns/op, parallel %.0f ns/op, speedup %.2fx at GOMAXPROCS=%d\n",
+		rep.Serial.NsPerOp, rep.Parallel.NsPerOp, rep.Speedup, rep.Procs)
+	if !rep.Enforced {
+		fmt.Fprintf(os.Stderr, "benchgate: GOMAXPROCS=%d < %d, speedup not enforced\n", rep.Procs, *minProcs)
+		return nil
+	}
+	if rep.Speedup < *minSpeedup {
+		return fmt.Errorf("parallel ingestion regressed: speedup %.2fx < required %.2fx at GOMAXPROCS=%d",
+			rep.Speedup, *minSpeedup, rep.Procs)
+	}
+	return nil
+}
+
+// parseBench reads `go test -bench` output and aggregates repeated runs of
+// the same benchmark into best-of summaries, in first-seen order.
+func parseBench(r io.Reader) ([]summary, error) {
+	best := make(map[string]*summary)
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		name, rn, procs, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		s, seen := best[name]
+		if !seen {
+			s = &summary{Name: name, Procs: procs, NsPerOp: rn.NsPerOp,
+				BytesPerOp: rn.BytesPerOp, AllocsPerOp: rn.AllocsPerOp, MBPerSec: rn.MBPerSec}
+			best[name] = s
+			order = append(order, name)
+		} else if rn.NsPerOp < s.NsPerOp {
+			s.NsPerOp, s.BytesPerOp, s.AllocsPerOp, s.MBPerSec = rn.NsPerOp, rn.BytesPerOp, rn.AllocsPerOp, rn.MBPerSec
+		}
+		s.Runs++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]summary, 0, len(order))
+	for _, name := range order {
+		out = append(out, *best[name])
+	}
+	return out, nil
+}
+
+// parseLine parses one benchmark result line, e.g.
+//
+//	BenchmarkAnalyze/serial-8   3   512345 ns/op   9.07 MB/s   2201 B/op   76 allocs/op
+//
+// The -8 suffix is the GOMAXPROCS the benchmark ran at (absent at 1).
+func parseLine(line string) (name string, rn run, procs int, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", run{}, 0, false
+	}
+	name, procs = splitProcs(fields[0])
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", run{}, 0, false
+	}
+	got := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", run{}, 0, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			rn.NsPerOp, got = v, true
+		case "B/op":
+			rn.BytesPerOp = v
+		case "allocs/op":
+			rn.AllocsPerOp = v
+		case "MB/s":
+			rn.MBPerSec = v
+		}
+	}
+	return name, rn, procs, got
+}
+
+// splitProcs strips the trailing -N GOMAXPROCS suffix from a benchmark name.
+func splitProcs(s string) (string, int) {
+	i := strings.LastIndexByte(s, '-')
+	if i < 0 {
+		return s, 1
+	}
+	n, err := strconv.Atoi(s[i+1:])
+	if err != nil || n < 1 {
+		return s, 1
+	}
+	return s[:i], n
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: logdiver
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkAnalyze/serial-8    	       1	2102864185 ns/op	   9.07 MB/s	220100392 B/op	  768125 allocs/op
+BenchmarkAnalyze/serial-8    	       1	1821021679 ns/op	  10.48 MB/s	220100424 B/op	  768125 allocs/op
+BenchmarkAnalyze/parallel-8  	       1	 893916163 ns/op	  21.97 MB/s	231100424 B/op	  791125 allocs/op
+BenchmarkAnalyze/parallel-8  	       1	 865343272 ns/op	  22.19 MB/s	231100408 B/op	  791125 allocs/op
+BenchmarkE2Outcomes-8        	     120	   9876543 ns/op	 1024 B/op	      12 allocs/op
+BenchmarkGenerate-8          	       2	 500000000 ns/op	       12252 runs/op
+PASS
+ok  	logdiver	27.962s
+`
+
+func TestParseBench(t *testing.T) {
+	sums, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 4 {
+		t.Fatalf("got %d summaries, want 4: %+v", len(sums), sums)
+	}
+	byName := map[string]summary{}
+	for _, s := range sums {
+		byName[s.Name] = s
+	}
+	ser, ok := byName["BenchmarkAnalyze/serial"]
+	if !ok {
+		t.Fatal("missing BenchmarkAnalyze/serial")
+	}
+	if ser.Procs != 8 || ser.Runs != 2 {
+		t.Errorf("serial procs=%d runs=%d, want 8, 2", ser.Procs, ser.Runs)
+	}
+	if ser.NsPerOp != 1821021679 {
+		t.Errorf("serial best ns/op = %v, want 1821021679 (min of the two runs)", ser.NsPerOp)
+	}
+	if ser.AllocsPerOp != 768125 || ser.MBPerSec != 10.48 {
+		t.Errorf("serial allocs=%v MB/s=%v, want metrics from the fastest run", ser.AllocsPerOp, ser.MBPerSec)
+	}
+	par := byName["BenchmarkAnalyze/parallel"]
+	if par.NsPerOp != 865343272 {
+		t.Errorf("parallel best ns/op = %v, want 865343272", par.NsPerOp)
+	}
+	if got := ser.NsPerOp / par.NsPerOp; got < 2.0 {
+		t.Errorf("sample speedup = %.2f, want > 2.0", got)
+	}
+	e2 := byName["BenchmarkE2Outcomes"]
+	if e2.NsPerOp != 9876543 || e2.BytesPerOp != 1024 {
+		t.Errorf("E2 = %+v, want ns/op 9876543, B/op 1024", e2)
+	}
+	// Custom metrics (runs/op) must not break parsing.
+	if g := byName["BenchmarkGenerate"]; g.NsPerOp != 500000000 {
+		t.Errorf("Generate ns/op = %v, want 500000000", g.NsPerOp)
+	}
+}
+
+func TestParseLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  	logdiver	27.962s",
+		"--- BENCH: BenchmarkGenerate-8",
+		"BenchmarkBroken notanumber 123 ns/op",
+	} {
+		if _, _, _, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted, want rejected", line)
+		}
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	cases := []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkAnalyze/serial-8", "BenchmarkAnalyze/serial", 8},
+		{"BenchmarkAnalyze/serial", "BenchmarkAnalyze/serial", 1},
+		{"BenchmarkFoo-16", "BenchmarkFoo", 16},
+		{"BenchmarkE10Coalesce", "BenchmarkE10Coalesce", 1},
+	}
+	for _, c := range cases {
+		name, procs := splitProcs(c.in)
+		if name != c.name || procs != c.procs {
+			t.Errorf("splitProcs(%q) = (%q, %d), want (%q, %d)", c.in, name, procs, c.name, c.procs)
+		}
+	}
+}

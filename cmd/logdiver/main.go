@@ -6,10 +6,15 @@
 //
 //	logdiver analyze -accounting acc.log -apsys apsys.log -syslog sys.log \
 //	    [-truth truth.jsonl] [-machine bluewaters|small] [-format ascii|md|csv]
-//	    [-rules site-rules.txt]
+//	    [-rules site-rules.txt] [-parallelism N]
 //	logdiver coalesce -syslog sys.log [-temporal 5m] [-spatial 2m] [-top 25]
 //	logdiver avail -syslog sys.log [-machine bluewaters|small] [-top 5]
-//	logdiver generate -days 30 -out ./archive        (alias of tracegen)
+//	logdiver generate -days 30 -out ./archive [-parallelism N]   (alias of tracegen)
+//
+// -parallelism bounds the worker pools of the streaming ingestion layer
+// (analyze: the three archives are parsed and classified concurrently) and
+// of archive emission (generate). 0 means one worker per CPU; 1 forces the
+// sequential path. Results and output bytes are identical at any setting.
 //
 // The analyze subcommand prints the experiment tables (E1-E17, plus the
 // A1-A3 ablations when -truth is given) to stdout. coalesce prints the
@@ -68,6 +73,7 @@ func analyze(args []string) error {
 		format   = fs.String("format", "ascii", "output format: ascii, md or csv")
 		timezone = fs.String("tz", "UTC", "accounting timestamp zone")
 		rules    = fs.String("rules", "", "optional classifier rule file (replaces the built-in taxonomy rules)")
+		par      = fs.Int("parallelism", 0, "ingestion/attribution worker count (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -123,7 +129,7 @@ func analyze(args []string) error {
 		return err
 	}
 
-	opts := logdiver.Options{}
+	opts := logdiver.Options{Parallelism: *par}
 	if *rules != "" {
 		f, err := os.Open(*rules)
 		if err != nil {
@@ -349,12 +355,14 @@ func generate(args []string) error {
 		days = fs.Int("days", 30, "production days to synthesize")
 		seed = fs.Int64("seed", 1, "random seed")
 		out  = fs.String("out", "archive", "output directory")
+		par  = fs.Int("parallelism", 0, "log-emission worker count (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := logdiver.ScaledGeneratorConfig(*days)
 	cfg.Seed = *seed
+	cfg.Parallelism = *par
 	ds, err := logdiver.Generate(cfg)
 	if err != nil {
 		return err

@@ -26,15 +26,17 @@ func main() {
 
 func run() error {
 	var (
-		days    = flag.Int("days", 30, "production days to synthesize")
-		seed    = flag.Int64("seed", 1, "random seed (fixed seed reproduces the archive byte for byte)")
-		out     = flag.String("out", "archive", "output directory")
-		machine = flag.String("machine", "bluewaters", "machine model: bluewaters or small")
+		days        = flag.Int("days", 30, "production days to synthesize")
+		seed        = flag.Int64("seed", 1, "random seed (fixed seed reproduces the archive byte for byte)")
+		out         = flag.String("out", "archive", "output directory")
+		machine     = flag.String("machine", "bluewaters", "machine model: bluewaters or small")
+		parallelism = flag.Int("parallelism", 0, "log-emission worker count (0 = GOMAXPROCS; output bytes are identical at any setting)")
 	)
 	flag.Parse()
 
 	cfg := logdiver.ScaledGeneratorConfig(*days)
 	cfg.Seed = *seed
+	cfg.Parallelism = *parallelism
 	switch *machine {
 	case "bluewaters":
 		// default

@@ -114,6 +114,11 @@ type Message struct {
 // ParseMessage parses an apsys message body. Bodies that are valid apsys
 // output but not Starting/Finishing records (e.g. error chatter) yield
 // KindUnknown with a nil error so callers can skip them cheaply.
+//
+// ParseMessage is a pure function and safe to call from concurrent
+// goroutines; the parallel ingestion path shards apsys lines across workers
+// and feeds the resulting Messages to a single Assembler in archive order
+// (Assembler itself is not goroutine-safe).
 func ParseMessage(body string) (Message, error) {
 	var m Message
 	fields, err := splitFields(body)

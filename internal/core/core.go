@@ -43,10 +43,18 @@ type Options struct {
 	// select the package defaults.
 	TemporalWindow time.Duration
 	SpatialWindow  time.Duration
-	// Classifier overrides the default taxonomy classifier.
+	// Classifier overrides the default taxonomy classifier. The classifier
+	// is shared by the ingestion workers and must be safe for concurrent
+	// use; taxonomy.Classifier is (see its doc), and custom implementations
+	// built from NewClassifier inherit that property.
 	Classifier *taxonomy.Classifier
-	// Parallelism bounds the attribution worker count; 0 selects
-	// runtime.GOMAXPROCS(0).
+	// Parallelism bounds the worker count of every parallel stage: the
+	// streaming ingestion workers that parse and classify each archive
+	// (Analyze splits the three archives into line-aligned blocks and fans
+	// them out) as well as the attribution workers of the join. Values <= 0
+	// (including negatives) select runtime.GOMAXPROCS(0); 1 forces the
+	// fully sequential ingestion path. Parallel and sequential ingestion
+	// produce identical Results.
 	Parallelism int
 }
 
@@ -68,6 +76,9 @@ func (o Options) withDefaults() Options {
 		o.Classifier = taxonomy.Default()
 	}
 	if o.Parallelism <= 0 {
+		// Negative values are treated as "unset" rather than rejected: the
+		// zero value must stay usable and a negative worker count has no
+		// other sensible meaning.
 		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return o
@@ -108,13 +119,27 @@ type Result struct {
 	Start, End time.Time
 }
 
-// Analyze runs the full pipeline over raw archives.
+// Analyze runs the full pipeline over raw archives. With Parallelism > 1
+// (the default resolves to GOMAXPROCS) the three archives are ingested
+// concurrently by the parallel streaming layer in ingest.go; Parallelism ==
+// 1 selects the sequential reference path. Both paths produce identical
+// Results.
 func Analyze(a Archives, top *machine.Topology, opts Options) (*Result, error) {
 	if top == nil {
 		return nil, fmt.Errorf("core: nil topology")
 	}
 	opts = opts.withDefaults()
 	res := &Result{}
+
+	if opts.Parallelism > 1 {
+		jobs, runs, events, stats, err := ingestParallel(a, top, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Jobs = jobs
+		res.Parse = stats
+		return finish(res, runs, events, top, opts)
+	}
 
 	jobs, err := readAccounting(a, res)
 	if err != nil {

@@ -1,0 +1,219 @@
+package core
+
+// Parallel streaming ingestion. The three archives are parsed concurrently
+// (one reader goroutine each), and within every archive the raw text is
+// split into line-aligned blocks that a worker pool (bounded by
+// Options.Parallelism per archive) parses — and, for syslog, classifies —
+// concurrently. Block results are merged back in archive order, so the
+// assembled jobs, runs, events and ParseStats are identical to the
+// sequential path; TestParallelAnalyzeMatchesSerial asserts exact equality
+// of the whole Result.
+//
+// ParseStats accumulation is race-free by construction: each archive reader
+// owns a private ParseStats, each block's counters travel with the block
+// result and are folded in on the single consumer goroutine, and the three
+// private structs are merged after all readers join.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"logdiver/internal/alps"
+	"logdiver/internal/errlog"
+	"logdiver/internal/machine"
+	"logdiver/internal/stream"
+	"logdiver/internal/syslogx"
+	"logdiver/internal/taxonomy"
+	"logdiver/internal/wlm"
+)
+
+// ingestBlockSize is the block granularity of parallel ingestion. A
+// variable (not const) so tests can shrink it to force malformed lines and
+// record boundaries onto chunk edges.
+var ingestBlockSize = stream.DefaultBlockSize
+
+// merge folds per-archive stats into the pipeline totals.
+func (s *ParseStats) merge(o ParseStats) {
+	s.AccountingRecords += o.AccountingRecords
+	s.AccountingMalformed += o.AccountingMalformed
+	s.ApsysLines += o.ApsysLines
+	s.ApsysMalformed += o.ApsysMalformed
+	s.OpenRuns += o.OpenRuns
+	s.UnmatchedExits += o.UnmatchedExits
+	s.SyslogLines += o.SyslogLines
+	s.SyslogMalformed += o.SyslogMalformed
+	s.Unclassified += o.Unclassified
+}
+
+// ingestParallel parses the three archives concurrently and returns the
+// assembled jobs, runs and classified events plus merged parse stats.
+func ingestParallel(a Archives, top *machine.Topology, opts Options) (jobs []wlm.Job, runs []alps.AppRun, events []errlog.Event, stats ParseStats, err error) {
+	var (
+		wg                           sync.WaitGroup
+		accStats, apsStats, sysStats ParseStats
+		accErr, apsErr, sysErr       error
+	)
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		jobs, accErr = readAccountingParallel(a.Accounting, a.Location, opts.Parallelism, &accStats)
+	}()
+	go func() {
+		defer wg.Done()
+		runs, apsErr = readApsysParallel(a.Apsys, opts.Parallelism, &apsStats)
+	}()
+	go func() {
+		defer wg.Done()
+		events, sysErr = readSyslogParallel(a.Syslog, top, opts.Classifier, opts.Parallelism, &sysStats)
+	}()
+	wg.Wait()
+	for _, e := range []error{accErr, apsErr, sysErr} {
+		if e != nil {
+			return nil, nil, nil, ParseStats{}, e
+		}
+	}
+	stats.merge(accStats)
+	stats.merge(apsStats)
+	stats.merge(sysStats)
+	return jobs, runs, events, stats, nil
+}
+
+// accChunk is one parsed accounting block.
+type accChunk struct {
+	recs      []wlm.Record
+	malformed int
+}
+
+func readAccountingParallel(r io.Reader, loc *time.Location, workers int, st *ParseStats) ([]wlm.Job, error) {
+	if r == nil {
+		return nil, nil
+	}
+	asm := wlm.NewAssembler()
+	err := stream.OrderedBlocks(r, ingestBlockSize, workers,
+		func(block []byte) (accChunk, error) {
+			recs, malformed := wlm.ParseBlock(block, loc)
+			return accChunk{recs: recs, malformed: malformed}, nil
+		},
+		func(c accChunk) error {
+			st.AccountingRecords += len(c.recs)
+			st.AccountingMalformed += c.malformed
+			for _, rec := range c.recs {
+				if err := asm.Add(rec); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("core: accounting: %w", err)
+	}
+	return asm.Jobs(), nil
+}
+
+// apsysMsg is one parsed apsys placement record with its timestamp.
+type apsysMsg struct {
+	at  time.Time
+	msg alps.Message
+}
+
+// apsChunk is one parsed apsys block.
+type apsChunk struct {
+	msgs      []apsysMsg
+	lines     int // well-formed syslog lines (any tag)
+	malformed int // syslog-level + apsys-level malformed
+}
+
+func readApsysParallel(r io.Reader, workers int, st *ParseStats) ([]alps.AppRun, error) {
+	if r == nil {
+		return nil, nil
+	}
+	asm := alps.NewAssembler()
+	err := stream.OrderedBlocks(r, ingestBlockSize, workers,
+		func(block []byte) (apsChunk, error) {
+			lines, malformed := syslogx.ParseBlock(block)
+			c := apsChunk{malformed: malformed, lines: len(lines)}
+			c.msgs = make([]apsysMsg, 0, len(lines))
+			for _, line := range lines {
+				if line.Tag != alps.Tag {
+					continue
+				}
+				m, err := alps.ParseMessage(line.Message)
+				if err != nil {
+					c.malformed++
+					continue
+				}
+				c.msgs = append(c.msgs, apsysMsg{at: line.Time, msg: m})
+			}
+			return c, nil
+		},
+		func(c apsChunk) error {
+			st.ApsysLines += c.lines
+			st.ApsysMalformed += c.malformed
+			for _, m := range c.msgs {
+				if err := asm.Add(m.at, m.msg); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("core: apsys: %w", err)
+	}
+	st.OpenRuns = asm.Open()
+	st.UnmatchedExits = asm.Unmatched()
+	return asm.Runs(), nil
+}
+
+// sysChunk is one parsed-and-classified syslog block.
+type sysChunk struct {
+	events       []errlog.Event
+	lines        int // well-formed lines
+	malformed    int
+	unclassified int
+}
+
+func readSyslogParallel(r io.Reader, top *machine.Topology, cls *taxonomy.Classifier, workers int, st *ParseStats) ([]errlog.Event, error) {
+	if r == nil {
+		return nil, nil
+	}
+	var events []errlog.Event
+	err := stream.OrderedBlocks(r, ingestBlockSize, workers,
+		func(block []byte) (sysChunk, error) {
+			lines, malformed := syslogx.ParseBlock(block)
+			c := sysChunk{malformed: malformed, lines: len(lines)}
+			c.events = make([]errlog.Event, 0, len(lines))
+			for _, line := range lines {
+				cat, sev := cls.Classify(line.Message)
+				if cat == taxonomy.Unclassified {
+					c.unclassified++
+					continue
+				}
+				node := errlog.SystemWide
+				if id, err := top.LookupString(line.Host); err == nil {
+					node = id
+				}
+				c.events = append(c.events, errlog.Event{
+					Time:     line.Time,
+					Node:     node,
+					Cname:    line.Host,
+					Category: cat,
+					Severity: sev,
+					Message:  line.Message,
+				})
+			}
+			return c, nil
+		},
+		func(c sysChunk) error {
+			st.SyslogLines += c.lines
+			st.SyslogMalformed += c.malformed
+			st.Unclassified += c.unclassified
+			events = append(events, c.events...)
+			return nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("core: syslog: %w", err)
+	}
+	return events, nil
+}

@@ -40,7 +40,10 @@ type Event struct {
 func (e Event) IsSystemWide() bool { return e.Node == SystemWide }
 
 // Tag returns the syslog program tag under which events of this category
-// are logged by the system software stack.
+// are logged by the system software stack. It is a pure function, safe for
+// concurrent use; the parallel log-emission workers in internal/gen call it
+// from multiple goroutines. (Render, by contrast, consumes an *rand.Rand
+// and must stay on one goroutine per rng.)
 func Tag(cat taxonomy.Category) string {
 	switch cat.Group() {
 	case taxonomy.GroupHardware:

@@ -197,6 +197,12 @@ type Config struct {
 	Seed     int64
 	Rates    Rates
 	Workload Workload
+	// Parallelism bounds the worker count of the log-emission stage (the
+	// Write* methods of Dataset, which format archives in parallel blocks
+	// and write them in order). Values <= 0 select runtime.GOMAXPROCS(0);
+	// 1 forces sequential emission. Output bytes are identical either way:
+	// all randomness is drawn on the emitting goroutine before fan-out.
+	Parallelism int
 }
 
 // Default returns the full-span Blue Waters-shaped configuration: 518

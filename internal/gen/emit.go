@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"sort"
 	"time"
 
 	"logdiver/internal/alps"
 	"logdiver/internal/correlate"
 	"logdiver/internal/errlog"
+	"logdiver/internal/stream"
 	"logdiver/internal/syslogx"
 	"logdiver/internal/taxonomy"
 	"logdiver/internal/wlm"
@@ -20,86 +22,145 @@ import (
 // apsysHost is the service host apsys records are logged from.
 const apsysHost = "nid00038"
 
+// emitChunkRecords is the number of records a formatting worker renders per
+// block during parallel emission.
+const emitChunkRecords = 4096
+
+// emitWorkers resolves the emission worker count from the dataset config.
+func (d *Dataset) emitWorkers() int {
+	if d.Config.Parallelism > 0 {
+		return d.Config.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// writeRanges renders n records into per-range buffers on the emission
+// worker pool and writes the buffers to w in index order, so the output is
+// byte-identical to a sequential loop calling format for 0..n-1. The
+// format callback must be pure (it runs concurrently).
+func writeRanges(w io.Writer, workers, n int, format func(buf []byte, i int) []byte) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	err := stream.Ordered(workers,
+		func(emit func([2]int) bool) error {
+			stream.Ranges(n, emitChunkRecords, func(lo, hi int) bool { return emit([2]int{lo, hi}) })
+			return nil
+		},
+		func(span [2]int) ([]byte, error) {
+			buf := make([]byte, 0, (span[1]-span[0])*128)
+			for i := span[0]; i < span[1]; i++ {
+				buf = format(buf, i)
+			}
+			return buf, nil
+		},
+		func(buf []byte) error {
+			_, err := bw.Write(buf)
+			return err
+		})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
 // WriteAccounting writes the Torque-style accounting archive: Q, S and E
-// records for every job, in record-time order.
+// records for every job, in record-time order. Record formatting is sharded
+// across the emission worker pool (Config.Parallelism); output order and
+// bytes match sequential emission exactly.
 func (d *Dataset) WriteAccounting(w io.Writer) error {
 	recs := make([]wlm.Record, 0, 3*len(d.Jobs))
 	for _, j := range d.Jobs {
 		recs = append(recs, wlm.QueueRecord(j), wlm.StartRecord(j), wlm.EndRecord(j))
 	}
 	sort.Slice(recs, func(i, j int) bool { return recs[i].Time.Before(recs[j].Time) })
-	out := wlm.NewWriter(w)
-	for _, r := range recs {
-		if err := out.Write(r); err != nil {
-			return fmt.Errorf("gen: accounting: %w", err)
-		}
+	err := writeRanges(w, d.emitWorkers(), len(recs), func(buf []byte, i int) []byte {
+		buf = append(buf, wlm.FormatRecord(recs[i])...)
+		return append(buf, '\n')
+	})
+	if err != nil {
+		return fmt.Errorf("gen: accounting: %w", err)
 	}
-	return out.Flush()
+	return nil
 }
 
 // WriteApsys writes the ALPS apsys archive: Starting and Finishing syslog
-// lines for every run, in time order.
+// lines for every run, in time order. Message bodies and syslog framing are
+// rendered on the emission worker pool.
 func (d *Dataset) WriteApsys(w io.Writer) error {
 	type entry struct {
-		at   time.Time
-		body string
+		at    time.Time
+		run   int
+		start bool
 	}
 	entries := make([]entry, 0, 2*len(d.Runs))
-	for _, r := range d.Runs {
-		entries = append(entries, entry{r.Start, alps.StartMessage(r)})
-		entries = append(entries, entry{r.End, alps.ExitMessage(r)})
+	for i, r := range d.Runs {
+		entries = append(entries, entry{r.Start, i, true})
+		entries = append(entries, entry{r.End, i, false})
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].at.Before(entries[j].at) })
-	out := syslogx.NewWriter(w)
-	for _, e := range entries {
-		err := out.Write(syslogx.Line{Time: e.at, Host: apsysHost, Tag: alps.Tag, Message: e.body})
-		if err != nil {
-			return fmt.Errorf("gen: apsys: %w", err)
+	err := writeRanges(w, d.emitWorkers(), len(entries), func(buf []byte, i int) []byte {
+		e := entries[i]
+		body := alps.ExitMessage(d.Runs[e.run])
+		if e.start {
+			body = alps.StartMessage(d.Runs[e.run])
 		}
+		line := syslogx.Line{Time: e.at, Host: apsysHost, Tag: alps.Tag, Message: body}
+		buf = append(buf, syslogx.Format(line)...)
+		return append(buf, '\n')
+	})
+	if err != nil {
+		return fmt.Errorf("gen: apsys: %w", err)
 	}
-	return out.Flush()
+	return nil
 }
 
 // WriteErrorLog writes the syslog error archive. With the configured
 // probabilities it injects forwarder duplicates and malformed lines, which
-// the analysis pipeline must tolerate (and deduplicate).
+// the analysis pipeline must tolerate (and deduplicate). All random
+// decisions are drawn sequentially up front (one rng draw per event, same
+// sequence as ever), then line rendering is sharded across the emission
+// worker pool; output bytes are identical to sequential emission.
 func (d *Dataset) WriteErrorLog(w io.Writer) error {
 	rng := rand.New(rand.NewSource(d.Config.Seed + 7919))
-	out := syslogx.NewWriter(w)
 	days := float64(d.Config.Days)
 	nMalformed := int(d.Config.Rates.MalformedPerDay * days)
 	malformedEvery := 0
 	if nMalformed > 0 && len(d.Events) > 0 {
 		malformedEvery = len(d.Events)/nMalformed + 1
 	}
-	for i, e := range d.Events {
+	dup := make([]bool, len(d.Events))
+	for i := range d.Events {
+		dup[i] = rng.Float64() < d.Config.Rates.DupProb
+	}
+	err := writeRanges(w, d.emitWorkers(), len(d.Events), func(buf []byte, i int) []byte {
+		e := d.Events[i]
 		line := syslogx.Line{Time: e.Time, Host: e.Cname, Tag: errlog.Tag(e.Category), Message: e.Message}
 		if line.Host == "" {
 			line.Host = "sdb"
 		}
-		if err := out.Write(line); err != nil {
-			return fmt.Errorf("gen: errorlog: %w", err)
-		}
-		if rng.Float64() < d.Config.Rates.DupProb {
-			if err := out.Write(line); err != nil {
-				return fmt.Errorf("gen: errorlog: %w", err)
-			}
+		raw := syslogx.Format(line)
+		buf = append(buf, raw...)
+		buf = append(buf, '\n')
+		if dup[i] {
+			buf = append(buf, raw...)
+			buf = append(buf, '\n')
 		}
 		if malformedEvery > 0 && i%malformedEvery == malformedEvery-1 {
 			// Inject a truncated copy: real archives contain lines cut
 			// mid-write, and the parser must skip them. Cut inside the
 			// timestamp/host prefix so the line can never parse.
-			raw := syslogx.Format(line)
 			cut := 20
 			if cut > len(raw) {
 				cut = len(raw)
 			}
-			if err := out.WriteRawLine(raw[:cut]); err != nil {
-				return err
-			}
+			buf = append(buf, raw[:cut]...)
+			buf = append(buf, '\n')
 		}
+		return buf
+	})
+	if err != nil {
+		return fmt.Errorf("gen: errorlog: %w", err)
 	}
-	return out.Flush()
+	return nil
 }
 
 // TruthRecord is the JSONL ground-truth representation.

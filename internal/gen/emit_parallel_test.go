@@ -1,0 +1,58 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"logdiver/internal/machine"
+)
+
+// TestParallelEmissionMatchesSequential: the log-emission stage must write
+// byte-identical archives whether formatting runs on one goroutine or many.
+// This is the emission-side counterpart of the ingestion differential test
+// in internal/core.
+func TestParallelEmissionMatchesSequential(t *testing.T) {
+	cfg := Scaled(2)
+	cfg.Machine = machine.Small()
+	cfg.Seed = 11
+	cfg.Workload.JobsPerDay = 250
+	cfg.Workload.XECapabilitySizes = []int{256}
+	cfg.Workload.XKCapabilitySizes = []int{64}
+	cfg.Workload.SmallSizeMax = 96
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	emitAll := func(parallelism int) (acc, aps, sys string) {
+		ds.Config.Parallelism = parallelism
+		var a, p, s strings.Builder
+		if err := ds.WriteAccounting(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.WriteApsys(&p); err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.WriteErrorLog(&s); err != nil {
+			t.Fatal(err)
+		}
+		return a.String(), p.String(), s.String()
+	}
+
+	accSeq, apsSeq, sysSeq := emitAll(1)
+	if accSeq == "" || apsSeq == "" || sysSeq == "" {
+		t.Fatal("sequential emission produced an empty archive")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		acc, aps, sys := emitAll(workers)
+		if acc != accSeq {
+			t.Errorf("workers %d: accounting archive differs from sequential emission", workers)
+		}
+		if aps != apsSeq {
+			t.Errorf("workers %d: apsys archive differs from sequential emission", workers)
+		}
+		if sys != sysSeq {
+			t.Errorf("workers %d: syslog archive differs from sequential emission", workers)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package stream provides the building blocks of the parallel streaming
+// ingestion layer: a chunked reader that splits an archive into line-aligned
+// byte blocks, and an ordered fan-out/fan-in engine that applies a function
+// to those blocks on a bounded worker pool while delivering results in
+// production order. Together they let the pipeline parse and classify log
+// archives on every core while producing output that is byte-identical to a
+// sequential scan.
+package stream
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"sync"
+)
+
+// DefaultBlockSize is the block granularity used by archive ingestion when
+// the caller does not choose one. Large enough that per-block overhead
+// (channel hops, slice headers) is negligible against parse work; small
+// enough that a handful of blocks are in flight per worker.
+const DefaultBlockSize = 256 << 10
+
+// MaxLineBytes bounds a single line, matching the bufio.Scanner buffer limit
+// the sequential scanners use (see syslogx.NewScanner); a longer line makes
+// Blocks fail with bufio.ErrTooLong exactly as the sequential path does.
+const MaxLineBytes = 1 << 20
+
+// Blocks reads r as a sequence of byte blocks of roughly blockSize bytes,
+// each extended (or shrunk) to end on a line boundary so no line is ever
+// split across blocks. Every emitted block is freshly allocated and safe to
+// retain or hand to another goroutine. The final block is emitted even when
+// the input does not end in a newline. Emission stops without error when
+// emit returns false. blockSize < 1 selects DefaultBlockSize.
+func Blocks(r io.Reader, blockSize int, emit func(block []byte) bool) error {
+	if blockSize < 1 {
+		blockSize = DefaultBlockSize
+	}
+	var carry []byte
+	buf := make([]byte, blockSize)
+	for {
+		n, err := r.Read(buf)
+		if n > 0 {
+			data := buf[:n]
+			if i := bytes.LastIndexByte(data, '\n'); i >= 0 {
+				block := make([]byte, 0, len(carry)+i+1)
+				block = append(block, carry...)
+				block = append(block, data[:i+1]...)
+				carry = append(carry[:0], data[i+1:]...)
+				if !emit(block) {
+					return nil
+				}
+			} else {
+				carry = append(carry, data...)
+			}
+			if len(carry) > MaxLineBytes {
+				return bufio.ErrTooLong
+			}
+		}
+		switch err {
+		case nil:
+		case io.EOF:
+			if len(carry) > 0 {
+				emit(append([]byte(nil), carry...))
+			}
+			return nil
+		default:
+			return err
+		}
+	}
+}
+
+// ForEachLine splits a block into lines with the exact semantics of
+// bufio.ScanLines: lines are terminated by '\n', one trailing '\r' is
+// stripped, and a final unterminated line is still yielded. Empty lines are
+// yielded too; skipping them is caller policy.
+func ForEachLine(block []byte, fn func(line []byte)) {
+	for len(block) > 0 {
+		var line []byte
+		if i := bytes.IndexByte(block, '\n'); i >= 0 {
+			line, block = block[:i], block[i+1:]
+		} else {
+			line, block = block, nil
+		}
+		if n := len(line); n > 0 && line[n-1] == '\r' {
+			line = line[:n-1]
+		}
+		fn(line)
+	}
+}
+
+// Ordered runs apply over the items yielded by produce on a pool of worker
+// goroutines and calls consume exactly once per item, in production order,
+// regardless of the order in which workers finish. produce is called on its
+// own goroutine and must yield items through emit, stopping when emit
+// returns false (which happens after a downstream error). apply runs
+// concurrently and must not touch shared mutable state; consume runs on the
+// caller's goroutine only. The first error from any of the three callbacks
+// cancels the pipeline and is returned.
+func Ordered[In, Out any](workers int, produce func(emit func(In) bool) error, apply func(In) (Out, error), consume func(Out) error) error {
+	if workers < 1 {
+		workers = 1
+	}
+	type result struct {
+		out Out
+		err error
+	}
+	type task struct {
+		in  In
+		res chan result
+	}
+
+	done := make(chan struct{})
+	var stopOnce sync.Once
+	stop := func() { stopOnce.Do(func() { close(done) }) }
+
+	jobs := make(chan task, workers)
+	// order carries one future per item in production order; its capacity
+	// bounds how far production can run ahead of consumption.
+	order := make(chan chan result, 4*workers)
+
+	var produceErr error
+	go func() {
+		defer close(jobs)
+		defer close(order)
+		produceErr = produce(func(in In) bool {
+			res := make(chan result, 1)
+			select {
+			case order <- res:
+			case <-done:
+				return false
+			}
+			select {
+			case jobs <- task{in: in, res: res}:
+			case <-done:
+				// The future was queued but no worker will fill it; the
+				// consumer is already in drain mode and will not read it.
+				return false
+			}
+			return true
+		})
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range jobs {
+				out, err := apply(t.in)
+				t.res <- result{out: out, err: err}
+			}
+		}()
+	}
+
+	var firstErr error
+	for res := range order {
+		if firstErr != nil {
+			continue // draining after an error; futures may never be filled
+		}
+		r := <-res
+		if r.err != nil {
+			firstErr = r.err
+			stop()
+			continue
+		}
+		if err := consume(r.out); err != nil {
+			firstErr = err
+			stop()
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return produceErr
+}
+
+// OrderedBlocks is the common composition: read r in line-aligned blocks and
+// process them with Ordered. It exists so every ingestion site shares one
+// tested fan-out shape.
+func OrderedBlocks[Out any](r io.Reader, blockSize, workers int, apply func(block []byte) (Out, error), consume func(Out) error) error {
+	return Ordered(workers,
+		func(emit func([]byte) bool) error { return Blocks(r, blockSize, emit) },
+		apply, consume)
+}
+
+// Ranges yields [lo,hi) index ranges of size at most step covering [0,n),
+// through emit, in ascending order. It is the producer used to parallelize
+// formatting of in-memory slices (log emission), where the input is already
+// materialized and only the indices need sharding.
+func Ranges(n, step int, emit func(lo, hi int) bool) {
+	if step < 1 {
+		step = 1
+	}
+	for lo := 0; lo < n; lo += step {
+		hi := lo + step
+		if hi > n {
+			hi = n
+		}
+		if !emit(lo, hi) {
+			return
+		}
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"io"
 	"strings"
 	"time"
+
+	"logdiver/internal/stream"
 )
 
 // Line is one parsed syslog record.
@@ -195,6 +197,30 @@ func (s *Scanner) Scan() bool {
 
 // Line returns the most recently scanned line.
 func (s *Scanner) Line() Line { return s.line }
+
+// ParseBlock parses every line of a newline-separated block, applying the
+// exact per-line semantics of Scanner: blank (whitespace-only) lines are
+// skipped silently and unparseable lines are counted as malformed rather
+// than failing the block. It is the unit of work of the parallel ingestion
+// path — Parse is a pure function, so blocks can be parsed on any number of
+// goroutines concurrently; concatenating the results in block order yields
+// exactly the sequence a sequential Scanner would produce.
+func ParseBlock(block []byte) (lines []Line, malformed int) {
+	lines = make([]Line, 0, len(block)/64)
+	stream.ForEachLine(block, func(raw []byte) {
+		text := string(raw)
+		if strings.TrimSpace(text) == "" {
+			return
+		}
+		l, err := Parse(text)
+		if err != nil {
+			malformed++
+			return
+		}
+		lines = append(lines, l)
+	})
+	return lines, malformed
+}
 
 // Malformed returns the number of lines skipped as unparseable.
 func (s *Scanner) Malformed() int { return s.malformed }

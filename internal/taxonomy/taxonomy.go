@@ -215,6 +215,13 @@ type Rule struct {
 }
 
 // Classifier applies an ordered rule list to raw message text.
+//
+// A Classifier is safe for concurrent use by multiple goroutines: Classify
+// only reads the rule list, and regexp.Regexp is documented as goroutine-
+// safe. The parallel ingestion workers in internal/core share one instance.
+// Clone exists for callers that prefer fully disjoint per-worker state (the
+// regexp machine cache is shared per-pattern; cloning recompiles patterns so
+// nothing at all is shared).
 type Classifier struct {
 	rules []Rule
 }
@@ -240,6 +247,20 @@ func (c *Classifier) Classify(msg string) (Category, Severity) {
 		}
 	}
 	return Unclassified, SevInfo
+}
+
+// Clone returns a deep copy of the classifier with freshly compiled
+// patterns, sharing no state (not even regexp internals) with the receiver.
+// Use it to give each worker goroutine a fully private classifier;
+// classification behavior is identical because compilation is
+// deterministic.
+func (c *Classifier) Clone() *Classifier {
+	out := &Classifier{rules: make([]Rule, len(c.rules))}
+	copy(out.rules, c.rules)
+	for i := range out.rules {
+		out.rules[i].Pattern = regexp.MustCompile(out.rules[i].Pattern.String())
+	}
+	return out
 }
 
 // Rules returns a copy of the classifier's rule list.

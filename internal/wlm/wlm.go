@@ -17,6 +17,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"logdiver/internal/stream"
 )
 
 // EventType is the accounting record type letter.
@@ -382,6 +384,32 @@ func (s *Scanner) Scan() bool {
 
 // Record returns the most recently scanned record.
 func (s *Scanner) Record() Record { return s.rec }
+
+// ParseBlock parses every line of a newline-separated accounting block with
+// the exact per-line semantics of Scanner: blank lines are skipped silently,
+// unparseable lines are counted as malformed. ParseRecord is a pure
+// function, so blocks parse safely on concurrent goroutines; concatenating
+// results in block order reproduces a sequential scan. Timestamps are
+// interpreted in loc (UTC if nil).
+func ParseBlock(block []byte, loc *time.Location) (recs []Record, malformed int) {
+	if loc == nil {
+		loc = time.UTC
+	}
+	recs = make([]Record, 0, len(block)/96)
+	stream.ForEachLine(block, func(raw []byte) {
+		text := string(raw)
+		if strings.TrimSpace(text) == "" {
+			return
+		}
+		rec, err := ParseRecord(text, loc)
+		if err != nil {
+			malformed++
+			return
+		}
+		recs = append(recs, rec)
+	})
+	return recs, malformed
+}
 
 // Malformed returns the number of skipped lines.
 func (s *Scanner) Malformed() int { return s.malformed }
