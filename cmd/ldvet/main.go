@@ -1,0 +1,116 @@
+// Command ldvet runs logdiver's custom static analyzers (internal/ldvet)
+// over the module: a multichecker in the spirit of go vet.
+//
+// Usage:
+//
+//	ldvet [-json] [package-dir ...]
+//	ldvet ./...
+//
+// With no arguments or with the literal "./..." it analyzes every package
+// in the enclosing module. Exit status: 0 when clean, 1 when any analyzer
+// reported a diagnostic, 2 when packages failed to load or type-check.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"logdiver/internal/ldvet"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ldvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	list := fs.Bool("analyzers", false, "list the registered analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: ldvet [-json] [package-dir ...]\n\nAnalyzers:\n")
+		for _, a := range ldvet.Analyzers() {
+			fmt.Fprintf(stderr, "  %s: %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range ldvet.Analyzers() {
+			fmt.Fprintf(stdout, "%s\t%s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	root, path, err := ldvet.FindModule(".")
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	l := ldvet.NewLoader(root, path)
+
+	var pkgs []*ldvet.Package
+	targets := fs.Args()
+	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "./...") {
+		pkgs, err = l.LoadAll()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, t := range targets {
+			abs, err := filepath.Abs(t)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			rel, err := filepath.Rel(root, abs)
+			if err != nil || rel == ".." || strings.HasPrefix(filepath.ToSlash(rel), "../") {
+				fmt.Fprintf(stderr, "ldvet: %s is outside module %s\n", t, root)
+				return 2
+			}
+			pkg, err := l.LoadDir(rel)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+
+	status := 0
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(stderr, "ldvet: %s: %v\n", p.Path, terr)
+			status = 2
+		}
+	}
+	if status != 0 {
+		return status
+	}
+
+	diags := ldvet.Run(l.Fset(), pkgs, ldvet.Analyzers())
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

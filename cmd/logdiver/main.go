@@ -9,7 +9,14 @@
 //	    [-rules site-rules.txt] [-parallelism N]
 //	logdiver coalesce -syslog sys.log [-temporal 5m] [-spatial 2m] [-top 25]
 //	logdiver avail -syslog sys.log [-machine bluewaters|small] [-top 5]
+//	logdiver lint-rules [-rules site-rules.txt] [-json]
 //	logdiver generate -days 30 -out ./archive [-parallelism N]   (alias of tracegen)
+//
+// lint-rules runs the internal/rulecheck semantic linter over a classifier
+// rule file (or over the built-in taxonomy when -rules is omitted) and
+// exits nonzero when any error-severity finding fires. analyze applies the
+// same linter to -rules files before using them; -validate-rules=false
+// skips that gate.
 //
 // -parallelism bounds the worker pools of the streaming ingestion layer
 // (analyze: the three archives are parsed and classified concurrently) and
@@ -22,6 +29,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +41,7 @@ import (
 	"logdiver/internal/avail"
 	"logdiver/internal/coalesce"
 	"logdiver/internal/gen"
+	"logdiver/internal/rulecheck"
 	"logdiver/internal/syslogx"
 	"logdiver/internal/taxonomy"
 )
@@ -57,8 +66,10 @@ func run(args []string) error {
 		return coalesceCmd(args[1:])
 	case "avail":
 		return availCmd(args[1:])
+	case "lint-rules":
+		return lintRules(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want analyze, avail, coalesce or generate)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want analyze, avail, coalesce, generate or lint-rules)", args[0])
 	}
 }
 
@@ -73,6 +84,7 @@ func analyze(args []string) error {
 		format   = fs.String("format", "ascii", "output format: ascii, md or csv")
 		timezone = fs.String("tz", "UTC", "accounting timestamp zone")
 		rules    = fs.String("rules", "", "optional classifier rule file (replaces the built-in taxonomy rules)")
+		validate = fs.Bool("validate-rules", true, "lint -rules files and reject rule sets with error-severity findings")
 		par      = fs.Int("parallelism", 0, "ingestion/attribution worker count (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -135,12 +147,23 @@ func analyze(args []string) error {
 		if err != nil {
 			return err
 		}
-		parsed, err := taxonomy.ReadRules(f)
+		parsed, err := taxonomy.ReadRuleFile(f)
 		f.Close()
 		if err != nil {
 			return err
 		}
-		opts.Classifier = taxonomy.NewClassifier(parsed)
+		if *validate {
+			cls, findings, err := rulecheck.NewValidatedClassifier(parsed, rulecheck.Options{})
+			for _, fd := range findings {
+				fmt.Fprintf(os.Stderr, "logdiver: %s: %s\n", *rules, fd)
+			}
+			if err != nil {
+				return fmt.Errorf("%s: %w (rerun with -validate-rules=false to override)", *rules, err)
+			}
+			opts.Classifier = cls
+		} else {
+			opts.Classifier = taxonomy.NewClassifier(taxonomy.Rules(parsed))
+		}
 	}
 	res, err := logdiver.Analyze(archives, top, opts)
 	if err != nil {
@@ -184,6 +207,69 @@ func analyze(args []string) error {
 			return renderErr
 		}
 	}
+	return nil
+}
+
+// lintRules runs the semantic rule-set linter over a rule file, or over
+// the built-in taxonomy when no file is given, and reports every finding.
+// Error-severity findings (shadowed rules, universal patterns, duplicate
+// names, ...) make the command fail; warnings alone do not.
+func lintRules(args []string) error {
+	fs := flag.NewFlagSet("lint-rules", flag.ContinueOnError)
+	var (
+		rules   = fs.String("rules", "", "classifier rule file to lint (default: the built-in taxonomy rules)")
+		jsonOut = fs.Bool("json", false, "emit findings as a JSON array")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var located []taxonomy.LocatedRule
+	source := "builtin rules"
+	if *rules != "" {
+		source = *rules
+		f, err := os.Open(*rules)
+		if err != nil {
+			return err
+		}
+		located, err = taxonomy.ReadRuleFile(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		located = taxonomy.Locate(taxonomy.Default().Rules())
+	}
+
+	findings := rulecheck.Check(located, rulecheck.Options{})
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		// Encode the empty set as [], not null, for downstream jq.
+		if findings == nil {
+			findings = []rulecheck.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			return err
+		}
+	} else {
+		for _, fd := range findings {
+			fmt.Println(fd)
+		}
+	}
+	var nerr, nwarn int
+	for _, fd := range findings {
+		if fd.Severity == rulecheck.Error {
+			nerr++
+		} else {
+			nwarn++
+		}
+	}
+	if nerr > 0 {
+		return fmt.Errorf("lint-rules: %s: %d error(s), %d warning(s) in %d rules",
+			source, nerr, nwarn, len(located))
+	}
+	fmt.Fprintf(os.Stderr, "lint-rules: %s: %d rules clean (%d warning(s))\n", source, len(located), nwarn)
 	return nil
 }
 

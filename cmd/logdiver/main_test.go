@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -258,4 +259,129 @@ func TestGenerateSubcommand(t *testing.T) {
 			t.Errorf("%s is empty", name)
 		}
 	}
+}
+
+// captureStdout redirects os.Stdout into a file for the duration of fn and
+// returns what was written.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "stdout")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = f
+	defer func() { os.Stdout = orig }()
+	fn()
+	os.Stdout = orig
+	f.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+const shadowedRules = "../../internal/rulecheck/testdata/shadowed.rules"
+
+func TestLintRulesBuiltinClean(t *testing.T) {
+	out := captureStdout(t, func() {
+		if err := run([]string{"lint-rules"}); err != nil {
+			t.Errorf("built-in rules failed lint: %v", err)
+		}
+	})
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("built-in rules produced findings:\n%s", out)
+	}
+}
+
+func TestLintRulesShadowedFile(t *testing.T) {
+	var err error
+	out := captureStdout(t, func() {
+		err = run([]string{"lint-rules", "-rules", shadowedRules})
+	})
+	if err == nil {
+		t.Fatal("shadowed rule file passed lint")
+	}
+	// The deliberately shadowed rule must be reported with the shadowing
+	// rule's name and both line numbers.
+	for _, want := range []string{
+		`rule "mce-dup" (line 4)`,
+		`earlier rule "mce-wide" (line 3)`,
+		"[shadow-structural]",
+		"[empty-match]",
+		"[dup-name]",
+		"[severity-mismatch]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("lint output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLintRulesJSON(t *testing.T) {
+	var err error
+	out := captureStdout(t, func() {
+		err = run([]string{"lint-rules", "-json", "-rules", shadowedRules})
+	})
+	if err == nil {
+		t.Fatal("shadowed rule file passed lint")
+	}
+	var findings []struct {
+		Check    string `json:"check"`
+		Severity string `json:"severity"`
+		Rule     string `json:"rule"`
+		Line     int    `json:"line"`
+		Message  string `json:"message"`
+	}
+	if jerr := json.Unmarshal([]byte(out), &findings); jerr != nil {
+		t.Fatalf("invalid JSON: %v\n%s", jerr, out)
+	}
+	if len(findings) == 0 {
+		t.Fatal("no findings decoded")
+	}
+	seen := map[string]bool{}
+	for _, f := range findings {
+		seen[f.Check] = true
+		if f.Severity != "error" && f.Severity != "warn" {
+			t.Errorf("finding %q has severity %q", f.Check, f.Severity)
+		}
+	}
+	for _, check := range []string{"shadow-structural", "empty-match", "dup-name"} {
+		if !seen[check] {
+			t.Errorf("JSON output missing check %q", check)
+		}
+	}
+
+	// The clean built-in set must encode as [], not null.
+	out = captureStdout(t, func() {
+		if err := run([]string{"lint-rules", "-json"}); err != nil {
+			t.Errorf("built-in rules failed lint: %v", err)
+		}
+	})
+	if strings.TrimSpace(out) != "[]" {
+		t.Errorf("clean set encoded as %q, want []", strings.TrimSpace(out))
+	}
+}
+
+func TestAnalyzeValidatesRules(t *testing.T) {
+	dir := t.TempDir()
+	writeArchive(t, dir)
+	args := []string{
+		"analyze",
+		"-apsys", filepath.Join(dir, "apsys.log"),
+		"-syslog", filepath.Join(dir, "syslog.log"),
+		"-machine", "small",
+		"-rules", shadowedRules,
+	}
+	if err := run(args); err == nil || !strings.Contains(err.Error(), "rulecheck") {
+		t.Errorf("analyze accepted a rule set with error findings (err=%v)", err)
+	}
+	// The escape hatch disables the gate.
+	_ = captureStdout(t, func() {
+		if err := run(append(args, "-validate-rules=false")); err != nil {
+			t.Errorf("analyze with -validate-rules=false failed: %v", err)
+		}
+	})
 }

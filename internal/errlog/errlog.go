@@ -45,7 +45,10 @@ func (e Event) IsSystemWide() bool { return e.Node == SystemWide }
 // from multiple goroutines. (Render, by contrast, consumes an *rand.Rand
 // and must stay on one goroutine per rng.)
 func Tag(cat taxonomy.Category) string {
+	//ldvet:exhaustive
 	switch cat.Group() {
+	case taxonomy.GroupUnknown:
+		return "kernel"
 	case taxonomy.GroupHardware:
 		return "HWERR"
 	case taxonomy.GroupGPU:
@@ -71,7 +74,10 @@ func Render(cat taxonomy.Category, cname string, rng *rand.Rand) string {
 	pick := func(variants ...string) string {
 		return variants[rng.Intn(len(variants))]
 	}
+	//ldvet:exhaustive
 	switch cat {
+	case taxonomy.Unclassified:
+		return "unclassified event of unknown origin"
 	case taxonomy.HardwareMemoryCE:
 		return pick(
 			fmt.Sprintf("Machine Check Exception: corrected DRAM error on %s bank %d DIMM %d syndrome 0x%04x",

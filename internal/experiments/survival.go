@@ -95,6 +95,9 @@ func E17Applications(res *core.Result) *report.Table {
 			a.sysFails++
 		case correlate.OutcomeUserFailure:
 			a.userFails++
+		default:
+			// Successes and walltime terminations contribute exposure
+			// (runs, node-hours) but are not failures.
 		}
 	}
 	cmds := make([]string, 0, len(byCmd))

@@ -1,0 +1,132 @@
+package ldvet
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive flags switch statements over enum-like types that miss
+// members. An enum-like type is a defined integer type with at least two
+// package-level constants of that exact type in its defining package —
+// taxonomy.Category, taxonomy.Severity and taxonomy.Group all qualify.
+//
+// Policy, tuned to the bug class this repo actually has (adding a category
+// before the numCategories sentinel and missing a switch):
+//
+//   - a switch with no default clause must cover every member;
+//   - a switch with a default clause is considered intentionally partial
+//     (predicates like Category.Benign) unless annotated with a
+//     //ldvet:exhaustive comment on or directly above the switch, in which
+//     case the default may remain as an out-of-range safety net but every
+//     member must still have a case;
+//   - constants whose name starts with "num"/"Num" are sentinels, not
+//     members;
+//   - only enums defined in this module are checked. External enums (e.g.
+//     regexp/syntax.Op) often carry unexported members that an importing
+//     package cannot name, so exhaustiveness is not achievable there.
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc: "flag non-exhaustive switches over enum-like types (all members required\n" +
+		"when there is no default clause, or when annotated //ldvet:exhaustive)",
+	Run: runExhaustive,
+}
+
+func runExhaustive(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.Pkg.Info.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named, ok := types.Unalias(tv.Type).(*types.Named)
+			if !ok || named.Obj().Pkg() == nil {
+				return true
+			}
+			if defPath := named.Obj().Pkg().Path(); defPath != pass.Pkg.Module &&
+				!strings.HasPrefix(defPath, pass.Pkg.Module+"/") {
+				return true
+			}
+			basic, ok := named.Underlying().(*types.Basic)
+			if !ok || basic.Info()&types.IsInteger == 0 {
+				return true
+			}
+			members := enumMembers(named)
+			if len(members) < 2 {
+				return true
+			}
+
+			hasDefault := false
+			covered := make(map[string]bool)
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					hasDefault = true
+					continue
+				}
+				for _, e := range cc.List {
+					if etv, ok := pass.Pkg.Info.Types[e]; ok && etv.Value != nil {
+						covered[etv.Value.ExactString()] = true
+					}
+				}
+			}
+			annotated := hasMarker(pass.Fset, file, sw.Pos(), "ldvet:exhaustive")
+			if hasDefault && !annotated {
+				return true
+			}
+			var missing []string
+			for _, m := range members {
+				if !covered[m.val] {
+					missing = append(missing, m.name)
+				}
+			}
+			if len(missing) == 0 {
+				return true
+			}
+			reason := "the switch has no default clause"
+			if annotated {
+				reason = "the switch is marked //ldvet:exhaustive"
+			}
+			pass.Reportf(sw.Pos(), "switch on %s.%s is not exhaustive (%s): missing %s",
+				named.Obj().Pkg().Name(), named.Obj().Name(), reason, strings.Join(missing, ", "))
+			return true
+		})
+	}
+}
+
+type enumMember struct {
+	name string
+	val  string // exact constant value, the coverage key
+	ord  constant.Value
+}
+
+// enumMembers lists the package-level constants of the named type in its
+// defining package, skipping "num"/"Num" sentinels, ordered by value.
+func enumMembers(named *types.Named) []enumMember {
+	scope := named.Obj().Pkg().Scope()
+	var out []enumMember
+	for _, nm := range scope.Names() {
+		c, ok := scope.Lookup(nm).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if strings.HasPrefix(nm, "num") || strings.HasPrefix(nm, "Num") {
+			continue
+		}
+		out = append(out, enumMember{name: nm, val: c.Val().ExactString(), ord: c.Val()})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return constant.Compare(out[i].ord, token.LSS, out[j].ord)
+	})
+	return out
+}

@@ -1,0 +1,214 @@
+package ldvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	// Path is the import path; Dir the directory it was loaded from.
+	Path string
+	Dir  string
+	// Module is the path of the module this package belongs to. Analyzers
+	// use it to scope checks to module-local types.
+	Module string
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Types and Info carry the go/types results the analyzers consume.
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-checker errors. Analysis results for a
+	// package with type errors are unreliable; the driver treats them as
+	// failures.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of one module, resolving
+// module-local imports itself and standard-library imports through the
+// compiler's source importer — both work offline, so ldvet runs in the same
+// hermetic environments the build does.
+type Loader struct {
+	fset       *token.FileSet
+	moduleRoot string
+	modulePath string
+	pkgs       map[string]*Package
+	loading    map[string]bool
+	std        types.Importer
+}
+
+// NewLoader returns a loader for the module rooted at moduleRoot with the
+// given module path.
+func NewLoader(moduleRoot, modulePath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:       fset,
+		moduleRoot: moduleRoot,
+		modulePath: modulePath,
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+		std:        importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Fset returns the loader's file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// FindModule locates the enclosing go.mod starting at dir and returns the
+// module root directory and module path.
+func FindModule(dir string) (root, path string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("ldvet: %s/go.mod has no module directive", d)
+		}
+		if parent := filepath.Dir(d); parent == d {
+			return "", "", fmt.Errorf("ldvet: no go.mod found above %s", abs)
+		}
+	}
+}
+
+// Import implements types.Importer: module-local packages are loaded from
+// source by this loader, everything else is delegated to the stdlib source
+// importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if rel, ok := l.moduleRel(path); ok {
+		pkg, err := l.load(filepath.Join(l.moduleRoot, rel), path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// moduleRel maps an import path inside the module to its directory
+// relative to the module root.
+func (l *Loader) moduleRel(path string) (string, bool) {
+	if path == l.modulePath {
+		return ".", true
+	}
+	if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// LoadDir loads the package in the directory rel (relative to the module
+// root; "." for the root package).
+func (l *Loader) LoadDir(rel string) (*Package, error) {
+	path := l.modulePath
+	if rel != "." {
+		path = l.modulePath + "/" + filepath.ToSlash(rel)
+	}
+	return l.load(filepath.Join(l.moduleRoot, rel), path)
+}
+
+// LoadAll loads every buildable package under the module root, skipping
+// testdata, vendor and hidden directories. Directories without buildable Go
+// files are silently skipped.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var pkgs []*Package
+	err := filepath.WalkDir(l.moduleRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.moduleRoot && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if _, err := build.ImportDir(p, 0); err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				return nil
+			}
+			return nil // unbuildable dir: not ours to diagnose
+		}
+		rel, err := filepath.Rel(l.moduleRoot, p)
+		if err != nil {
+			return err
+		}
+		pkg, err := l.LoadDir(rel)
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, pkg)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// load parses and type-checks the package in dir under the given import
+// path, memoized per path.
+func (l *Loader) load(dir, path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("ldvet: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("ldvet: %s: %w", dir, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Module: l.modulePath}
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("ldvet: %w", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(path, l.fset, pkg.Files, pkg.Info)
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		pkg.TypeErrors = append(pkg.TypeErrors, err)
+	}
+	pkg.Types = tpkg
+	l.pkgs[path] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,80 @@
+package ldvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RegexpCompile flags regexp.MustCompile (and MustCompilePOSIX) calls
+// inside function bodies. Pattern compilation is expensive; on the
+// message-classification hot path a per-call compile dominates the profile,
+// and the panic-on-error contract of MustCompile only makes sense for
+// patterns fixed at init time anyway. Patterns belong in package-level var
+// blocks. Call sites where a per-call compile is the point (Classifier.Clone
+// recompiling for worker isolation, rule constructors) carry a
+// //ldvet:allow regexp-compile annotation.
+var RegexpCompile = &Analyzer{
+	Name: "regexpcompile",
+	Doc: "flag regexp.MustCompile outside package-level var blocks (per-call\n" +
+		"compiles on hot paths); suppress with //ldvet:allow regexp-compile",
+	Run: runRegexpCompile,
+}
+
+func runRegexpCompile(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		// Collect the source ranges of all function bodies; a call outside
+		// every body belongs to a package-level initializer, which is the
+		// sanctioned place to compile patterns.
+		var bodies []*ast.BlockStmt
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					bodies = append(bodies, fn.Body)
+				}
+			case *ast.FuncLit:
+				if fn.Body != nil {
+					bodies = append(bodies, fn.Body)
+				}
+			}
+			return true
+		})
+		inFunction := func(pos token.Pos) bool {
+			for _, b := range bodies {
+				if b.Pos() <= pos && pos < b.End() {
+					return true
+				}
+			}
+			return false
+		}
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "regexp" {
+				return true
+			}
+			if name := fn.Name(); name != "MustCompile" && name != "MustCompilePOSIX" {
+				return true
+			}
+			if !inFunction(call.Pos()) {
+				return true
+			}
+			if hasMarker(pass.Fset, file, call.Pos(), "ldvet:allow regexp-compile") {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"regexp.%s inside a function compiles the pattern on every call; hoist it to a package-level var, or annotate the line with //ldvet:allow regexp-compile if a per-call compile is intended",
+				fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,109 @@
+// Package exhaustive exercises the ldvet exhaustive analyzer. It mirrors
+// the taxonomy.Category enum shape: a defined integer type, iota constants,
+// and a num-prefixed sentinel that must NOT be treated as a member.
+package exhaustive
+
+type Category int
+
+const (
+	Unclassified Category = iota
+	HardwareMemoryUE
+	KernelPanic
+	NodeRecovered
+	numCategories // sentinel, never required in a switch
+)
+
+// Severity has fewer than two constants through a second type to keep the
+// enum detection honest: single-constant types are not enums.
+type Severity int
+
+const OnlySeverity Severity = 1
+
+// missingNoDefault omits NodeRecovered and has no default clause: flagged.
+func missingNoDefault(c Category) string {
+	switch c { // want "switch on exhaustive.Category is not exhaustive \\(the switch has no default clause\\): missing NodeRecovered"
+	case Unclassified:
+		return "unclassified"
+	case HardwareMemoryUE:
+		return "ue"
+	case KernelPanic:
+		return "panic"
+	}
+	return ""
+}
+
+// partialWithDefault misses members but has a default clause and no
+// annotation: intentionally partial, not flagged.
+func partialWithDefault(c Category) bool {
+	switch c {
+	case HardwareMemoryUE, KernelPanic:
+		return true
+	default:
+		return false
+	}
+}
+
+// annotatedWithDefault has a default clause but is marked //ldvet:exhaustive,
+// so the missing member is still flagged.
+func annotatedWithDefault(c Category) string {
+	//ldvet:exhaustive
+	switch c { // want "switch on exhaustive.Category is not exhaustive \\(the switch is marked //ldvet:exhaustive\\): missing Unclassified"
+	case HardwareMemoryUE:
+		return "ue"
+	case KernelPanic:
+		return "panic"
+	case NodeRecovered:
+		return "recovered"
+	default:
+		return "?"
+	}
+}
+
+// fullCoverage names every member (the sentinel is not required): clean.
+func fullCoverage(c Category) int {
+	switch c {
+	case Unclassified:
+		return 0
+	case HardwareMemoryUE:
+		return 1
+	case KernelPanic:
+		return 2
+	case NodeRecovered:
+		return 3
+	}
+	return -1
+}
+
+// annotatedFull covers everything under the annotation: clean.
+func annotatedFull(c Category) int {
+	//ldvet:exhaustive
+	switch c {
+	case Unclassified, HardwareMemoryUE, KernelPanic, NodeRecovered:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// notAnEnum switches over a single-constant type: ignored by the analyzer.
+func notAnEnum(s Severity) bool {
+	switch s {
+	case OnlySeverity:
+		return true
+	}
+	return false
+}
+
+// plainInt switches over a built-in type: ignored.
+func plainInt(n int) bool {
+	switch n {
+	case 1:
+		return true
+	}
+	return false
+}
+
+var _ = []any{
+	missingNoDefault, partialWithDefault, annotatedWithDefault,
+	fullCoverage, annotatedFull, notAnEnum, plainInt,
+}

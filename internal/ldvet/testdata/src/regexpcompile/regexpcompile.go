@@ -1,0 +1,50 @@
+// Package regexpcompile exercises the ldvet regexpcompile analyzer.
+package regexpcompile
+
+import "regexp"
+
+// Package-level compiles are the sanctioned pattern: clean.
+var hoisted = regexp.MustCompile(`kernel panic`)
+
+var grouped = struct{ re *regexp.Regexp }{
+	re: regexp.MustCompile(`machine check`),
+}
+
+// perCall recompiles on every invocation: flagged.
+func perCall(msg string) bool {
+	re := regexp.MustCompile(`lbug`) // want "regexp.MustCompile inside a function compiles the pattern on every call"
+	return re.MatchString(msg)
+}
+
+// posixPerCall uses the POSIX variant: flagged too.
+func posixPerCall(msg string) bool {
+	return regexp.MustCompilePOSIX(`oops`).MatchString(msg) // want "regexp.MustCompilePOSIX inside a function compiles the pattern on every call"
+}
+
+// inClosure hides the call inside a function literal: still a function body.
+var inClosure = func() *regexp.Regexp {
+	return regexp.MustCompile(`heartbeat fault`) // want "regexp.MustCompile inside a function"
+}
+
+// allowedSameLine opts out with the marker on the call line: clean.
+func allowedSameLine(pat string) *regexp.Regexp {
+	return regexp.MustCompile(pat) //ldvet:allow regexp-compile — caller supplies the pattern
+}
+
+// allowedLineAbove opts out with the marker on the line above: clean.
+func allowedLineAbove(pat string) *regexp.Regexp {
+	//ldvet:allow regexp-compile
+	re := regexp.MustCompile(pat)
+	return re
+}
+
+// compileNotMust uses regexp.Compile, which returns an error instead of
+// panicking; that is a deliberate runtime-pattern API and not flagged.
+func compileNotMust(pat string) (*regexp.Regexp, error) {
+	return regexp.Compile(pat)
+}
+
+var _ = []any{
+	hoisted, grouped, perCall, posixPerCall, inClosure,
+	allowedSameLine, allowedLineAbove, compileNotMust,
+}

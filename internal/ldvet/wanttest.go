@@ -1,0 +1,113 @@
+package ldvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// WantError describes a mismatch between expected and actual diagnostics
+// in a want-comment test run.
+type WantError struct {
+	Pos     string
+	Message string
+}
+
+func (e WantError) String() string { return e.Pos + ": " + e.Message }
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(".*"|` + "`.*`" + `)\s*$`)
+
+// CheckWants runs the analyzers over the single package rooted at dir
+// (loaded as its own module) and compares the diagnostics against the
+// `// want "regexp"` comments in its sources, exactly like
+// golang.org/x/tools/go/analysis/analysistest: every want comment must be
+// matched by a diagnostic on its line, and every diagnostic must be
+// expected. It returns the list of mismatches (empty on success).
+func CheckWants(dir string, analyzers ...*Analyzer) ([]WantError, error) {
+	l := NewLoader(dir, "wanttest")
+	pkg, err := l.LoadDir(".")
+	if err != nil {
+		return nil, err
+	}
+	if len(pkg.TypeErrors) > 0 {
+		return nil, fmt.Errorf("ldvet: test package %s does not type-check: %v", dir, pkg.TypeErrors[0])
+	}
+	diags := Run(l.Fset(), []*Package{pkg}, analyzers)
+
+	type want struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	wants := make(map[string][]*want) // "file:line" -> expectations
+	for _, f := range pkg.Files {
+		collectWants(l.Fset(), f, func(pos token.Position, pattern string) error {
+			re, err := regexp.Compile(pattern)
+			if err != nil {
+				return fmt.Errorf("%s: bad want pattern %q: %w", pos, pattern, err)
+			}
+			key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+			wants[key] = append(wants[key], &want{re: re, raw: pattern})
+			return nil
+		})
+	}
+
+	var errs []WantError
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			errs = append(errs, WantError{
+				Pos:     d.Pos.String(),
+				Message: fmt.Sprintf("unexpected diagnostic: %s: %s", d.Analyzer, d.Message),
+			})
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				errs = append(errs, WantError{
+					Pos:     key,
+					Message: fmt.Sprintf("expected diagnostic matching %q did not fire", w.raw),
+				})
+			}
+		}
+	}
+	return errs, nil
+}
+
+// collectWants invokes fn for every `// want "..."` comment with the
+// position of the line it annotates.
+func collectWants(fset *token.FileSet, f *ast.File, fn func(token.Position, string) error) {
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			m := wantRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			raw := m[1]
+			var pattern string
+			if raw[0] == '`' {
+				pattern = raw[1 : len(raw)-1]
+			} else if p, err := strconv.Unquote(raw); err == nil {
+				pattern = p
+			} else {
+				pattern = strings.Trim(raw, `"`)
+			}
+			if err := fn(fset.Position(c.Slash), pattern); err != nil {
+				// Bad pattern: surface it as an unmatched want.
+				_ = fn(fset.Position(c.Slash), regexp.QuoteMeta(err.Error()))
+			}
+		}
+	}
+}

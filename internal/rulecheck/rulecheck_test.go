@@ -1,0 +1,402 @@
+package rulecheck_test
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"logdiver/internal/rulecheck"
+	"logdiver/internal/taxonomy"
+)
+
+// mk builds an in-memory located rule (Line 0).
+func mk(name, pat string, cat taxonomy.Category, sev taxonomy.Severity) taxonomy.LocatedRule {
+	return taxonomy.LocatedRule{Rule: taxonomy.Rule{
+		Name: name, Pattern: regexp.MustCompile(pat), Category: cat, Severity: sev,
+	}}
+}
+
+// findingsOf filters the findings produced for rules down to one check id.
+func findingsOf(fs []rulecheck.Finding, check string) []rulecheck.Finding {
+	var out []rulecheck.Finding
+	for _, f := range fs {
+		if f.Check == check {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// TestChecksTableDriven exercises every lint class with at least one
+// positive and one negative case. The corpus is injected explicitly so the
+// differential checks are fully deterministic.
+func TestChecksTableDriven(t *testing.T) {
+	ueMsg := "Machine Check Exception: uncorrected DRAM error on c0-0c0s0n0 bank 1"
+	tests := []struct {
+		name   string
+		rules  []taxonomy.LocatedRule
+		corpus []rulecheck.Sample
+		check  string // check id under test
+		// wantRules are the rule names expected to be flagged by check, in
+		// order; empty means the check must not fire at all.
+		wantRules []string
+		wantSev   rulecheck.Severity
+		// wantRelated, if set, is the Related rule expected on the first
+		// finding.
+		wantRelated string
+	}{
+		{
+			name: "bad-name positive",
+			rules: []taxonomy.LocatedRule{
+				mk("has space", `x`, taxonomy.KernelPanic, taxonomy.SevCritical),
+				mk("ok", `y`, taxonomy.KernelPanic, taxonomy.SevCritical),
+			},
+			check: "bad-name", wantRules: []string{"has space"}, wantSev: rulecheck.Error,
+		},
+		{
+			name: "bad-name negative",
+			rules: []taxonomy.LocatedRule{
+				mk("CRIT-watcher.v2", `x`, taxonomy.KernelPanic, taxonomy.SevCritical),
+			},
+			check: "bad-name",
+		},
+		{
+			name: "dup-name positive",
+			rules: []taxonomy.LocatedRule{
+				mk("same", `aaa`, taxonomy.KernelPanic, taxonomy.SevCritical),
+				mk("same", `bbb`, taxonomy.SoftwareOS, taxonomy.SevError),
+			},
+			check: "dup-name", wantRules: []string{"same"}, wantSev: rulecheck.Error,
+			wantRelated: "same",
+		},
+		{
+			name: "dup-name negative",
+			rules: []taxonomy.LocatedRule{
+				mk("a", `aaa`, taxonomy.KernelPanic, taxonomy.SevCritical),
+				mk("b", `bbb`, taxonomy.SoftwareOS, taxonomy.SevError),
+			},
+			check: "dup-name",
+		},
+		{
+			name: "empty-match universal positive",
+			rules: []taxonomy.LocatedRule{
+				mk("catchall", `.*`, taxonomy.SoftwareOS, taxonomy.SevInfo),
+				mk("optional", `(error)?`, taxonomy.SoftwareOS, taxonomy.SevInfo),
+				mk("nonempty-universal", `.+`, taxonomy.SoftwareOS, taxonomy.SevInfo),
+			},
+			check:     "empty-match",
+			wantRules: []string{"catchall", "optional", "nonempty-universal"},
+			wantSev:   rulecheck.Error,
+		},
+		{
+			name: "empty-match anchored is warn only",
+			rules: []taxonomy.LocatedRule{
+				mk("anchored-empty", `^(panic)?$`, taxonomy.KernelPanic, taxonomy.SevCritical),
+			},
+			check: "empty-match", wantRules: []string{"anchored-empty"}, wantSev: rulecheck.Warn,
+		},
+		{
+			name: "empty-match negative",
+			rules: []taxonomy.LocatedRule{
+				mk("plain", `kernel panic`, taxonomy.KernelPanic, taxonomy.SevCritical),
+			},
+			check: "empty-match",
+		},
+		{
+			name: "shadow-structural identical pattern",
+			rules: []taxonomy.LocatedRule{
+				mk("first", `(?i)machine check`, taxonomy.HardwareMemoryUE, taxonomy.SevCritical),
+				mk("second", `(?i)machine check`, taxonomy.HardwareMemoryCE, taxonomy.SevWarning),
+			},
+			check: "shadow-structural", wantRules: []string{"second"}, wantSev: rulecheck.Error,
+			wantRelated: "first",
+		},
+		{
+			name: "shadow-structural alternation branch",
+			rules: []taxonomy.LocatedRule{
+				mk("both", `(?i)kernel panic|oops:`, taxonomy.KernelPanic, taxonomy.SevCritical),
+				mk("branch", `(?i)kernel panic`, taxonomy.KernelPanic, taxonomy.SevCritical),
+			},
+			check: "shadow-structural", wantRules: []string{"branch"}, wantSev: rulecheck.Error,
+			wantRelated: "both",
+		},
+		{
+			name: "shadow-structural literal containment",
+			rules: []taxonomy.LocatedRule{
+				mk("broad", `(?i)kernel panic`, taxonomy.KernelPanic, taxonomy.SevCritical),
+				mk("literal", `kernel panic - not syncing`, taxonomy.KernelPanic, taxonomy.SevCritical),
+			},
+			check: "shadow-structural", wantRules: []string{"literal"}, wantSev: rulecheck.Error,
+			wantRelated: "broad",
+		},
+		{
+			name: "shadow-structural respects anchors",
+			rules: []taxonomy.LocatedRule{
+				// \b invalidates substring closure: "xkernel panicx" is
+				// matched by the literal but not by the anchored rule, so
+				// the literal is NOT contained and must not be flagged.
+				mk("word", `\bkernel panic\b`, taxonomy.KernelPanic, taxonomy.SevCritical),
+				mk("literal", `kernel panic`, taxonomy.KernelPanic, taxonomy.SevCritical),
+			},
+			check: "shadow-structural",
+		},
+		{
+			name: "shadow-structural negative disjoint",
+			rules: []taxonomy.LocatedRule{
+				mk("a", `voltage fault`, taxonomy.HardwarePower, taxonomy.SevCritical),
+				mk("b", `kernel panic`, taxonomy.KernelPanic, taxonomy.SevCritical),
+			},
+			check: "shadow-structural",
+		},
+		{
+			name: "shadow-differential corpus plus witnesses",
+			rules: []taxonomy.LocatedRule{
+				mk("broad", `(?i)machine check`, taxonomy.HardwareMemoryUE, taxonomy.SevCritical),
+				mk("narrow", `(?i)machine check exception.*uncorrected`, taxonomy.HardwareMemoryUE, taxonomy.SevCritical),
+			},
+			corpus: []rulecheck.Sample{{Message: ueMsg, Category: taxonomy.HardwareMemoryUE}},
+			check:  "shadow-differential", wantRules: []string{"narrow"}, wantSev: rulecheck.Error,
+			wantRelated: "broad",
+		},
+		{
+			name: "shadow-witness only",
+			rules: []taxonomy.LocatedRule{
+				// narrow is kept non-literal so the structural containment
+				// check cannot prove the shadowing; only its synthesized
+				// witnesses reveal it.
+				mk("broad", `zzz`, taxonomy.SoftwareOS, taxonomy.SevError),
+				mk("narrow", `zzz(qqq|www)`, taxonomy.SoftwareOS, taxonomy.SevError),
+			},
+			corpus: []rulecheck.Sample{{Message: ueMsg, Category: taxonomy.HardwareMemoryUE}},
+			check:  "shadow-witness", wantRules: []string{"narrow"}, wantSev: rulecheck.Warn,
+			wantRelated: "broad",
+		},
+		{
+			name: "shadow-corpus only",
+			rules: []taxonomy.LocatedRule{
+				mk("dram", `(?i)uncorrected DRAM`, taxonomy.HardwareMemoryUE, taxonomy.SevCritical),
+				// Witness "machine check exception: uncorrected" is NOT
+				// matched by "dram", so only the corpus shows the shadowing.
+				mk("mce", `(?i)machine check exception: uncorrected`, taxonomy.HardwareMemoryUE, taxonomy.SevCritical),
+			},
+			corpus: []rulecheck.Sample{{Message: ueMsg, Category: taxonomy.HardwareMemoryUE}},
+			check:  "shadow-corpus", wantRules: []string{"mce"}, wantSev: rulecheck.Warn,
+			wantRelated: "dram",
+		},
+		{
+			name: "shadow differential negative: rule fires first on corpus",
+			rules: []taxonomy.LocatedRule{
+				mk("other", `voltage fault`, taxonomy.HardwarePower, taxonomy.SevCritical),
+				mk("mce", `(?i)machine check`, taxonomy.HardwareMemoryUE, taxonomy.SevCritical),
+			},
+			corpus: []rulecheck.Sample{{Message: ueMsg, Category: taxonomy.HardwareMemoryUE}},
+			check:  "shadow-corpus",
+		},
+		{
+			name: "severity-mismatch benign at CRIT",
+			rules: []taxonomy.LocatedRule{
+				mk("recovered", `node returned to service`, taxonomy.NodeRecovered, taxonomy.SevCritical),
+			},
+			check: "severity-mismatch", wantRules: []string{"recovered"}, wantSev: rulecheck.Error,
+		},
+		{
+			name: "severity-mismatch fatal at INFO",
+			rules: []taxonomy.LocatedRule{
+				mk("quiet-panic", `kernel panic`, taxonomy.KernelPanic, taxonomy.SevInfo),
+			},
+			check: "severity-mismatch", wantRules: []string{"quiet-panic"}, wantSev: rulecheck.Warn,
+		},
+		{
+			name: "severity-mismatch negative",
+			rules: []taxonomy.LocatedRule{
+				mk("recovered", `node returned to service`, taxonomy.NodeRecovered, taxonomy.SevInfo),
+				mk("panic", `kernel panic`, taxonomy.KernelPanic, taxonomy.SevCritical),
+			},
+			check: "severity-mismatch",
+		},
+		{
+			name: "superlinear positive",
+			rules: []taxonomy.LocatedRule{
+				mk("nested", `(?i)(lockup+)+`, taxonomy.SoftwareOS, taxonomy.SevError),
+			},
+			check: "superlinear", wantRules: []string{"nested"}, wantSev: rulecheck.Warn,
+		},
+		{
+			name: "superlinear negative sequential quantifiers",
+			rules: []taxonomy.LocatedRule{
+				mk("seq", `a+b+c*`, taxonomy.SoftwareOS, taxonomy.SevError),
+			},
+			check: "superlinear",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			opts := rulecheck.Options{Corpus: tt.corpus}
+			if tt.corpus == nil {
+				opts.NoCorpus = true
+			}
+			fs := rulecheck.Check(tt.rules, opts)
+			got := findingsOf(fs, tt.check)
+			if len(tt.wantRules) == 0 {
+				if len(got) != 0 {
+					t.Fatalf("check %s fired unexpectedly: %v", tt.check, got)
+				}
+				return
+			}
+			if len(got) != len(tt.wantRules) {
+				t.Fatalf("check %s: got %d findings %v, want rules %v", tt.check, len(got), got, tt.wantRules)
+			}
+			for i, f := range got {
+				if f.Rule != tt.wantRules[i] {
+					t.Errorf("finding %d names rule %q, want %q", i, f.Rule, tt.wantRules[i])
+				}
+				if f.Severity != tt.wantSev {
+					t.Errorf("finding %d severity %v, want %v", i, f.Severity, tt.wantSev)
+				}
+			}
+			if tt.wantRelated != "" && got[0].Related != tt.wantRelated {
+				t.Errorf("finding related = %q, want %q", got[0].Related, tt.wantRelated)
+			}
+		})
+	}
+}
+
+// TestCoverageGap needs its own table since the finding is rule-set-level.
+func TestCoverageGap(t *testing.T) {
+	fs := rulecheck.Check([]taxonomy.LocatedRule{
+		mk("only-panic", `kernel panic`, taxonomy.KernelPanic, taxonomy.SevCritical),
+	}, rulecheck.Options{NoCorpus: true})
+	gaps := findingsOf(fs, "coverage-gap")
+	// Every category except KernelPanic is uncovered.
+	if want := len(taxonomy.Categories()) - 1; len(gaps) != want {
+		t.Fatalf("got %d coverage gaps, want %d", len(gaps), want)
+	}
+	var mentionsGPU bool
+	for _, f := range gaps {
+		if f.Severity != rulecheck.Warn {
+			t.Errorf("coverage-gap severity %v, want warn", f.Severity)
+		}
+		if strings.Contains(f.Message, taxonomy.GPUMemoryDBE.String()) {
+			mentionsGPU = true
+		}
+	}
+	if !mentionsGPU {
+		t.Error("no coverage-gap finding mentions GPU_DBE")
+	}
+	// Negative: the built-in set covers everything.
+	full := rulecheck.Check(taxonomy.Locate(taxonomy.Default().Rules()), rulecheck.Options{NoCorpus: true})
+	if gaps := findingsOf(full, "coverage-gap"); len(gaps) != 0 {
+		t.Errorf("built-in set reported coverage gaps: %v", gaps)
+	}
+}
+
+// TestBuiltinRulesClean is the tier-1 guard for the hot classification
+// path: the shipped rule set must stay free of all findings, including
+// warnings, under the full corpus-backed analysis.
+func TestBuiltinRulesClean(t *testing.T) {
+	fs := rulecheck.Check(taxonomy.Locate(taxonomy.Default().Rules()), rulecheck.Options{})
+	for _, f := range fs {
+		t.Errorf("built-in rule set: %s", f)
+	}
+}
+
+// TestShadowedRuleFile pins the acceptance scenario: a deliberately
+// shadowed rule in a rule file is reported with the shadowing rule's name
+// and both line numbers.
+func TestShadowedRuleFile(t *testing.T) {
+	f, err := os.Open("testdata/shadowed.rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rules, err := taxonomy.ReadRuleFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := rulecheck.Check(rules, rulecheck.Options{})
+
+	type want struct {
+		check       string
+		rule        string
+		line        int
+		severity    rulecheck.Severity
+		related     string
+		relatedLine int
+	}
+	wants := []want{
+		{"shadow-structural", "mce-dup", 4, rulecheck.Error, "mce-wide", 3},
+		{"shadow-structural", "panic-only", 6, rulecheck.Error, "panic-or-oops", 5},
+		{"shadow-structural", "panic-lit", 7, rulecheck.Error, "panic-or-oops", 5},
+		{"severity-mismatch", "recovered-crit", 8, rulecheck.Error, "", 0},
+		{"superlinear", "lockup-nest", 9, rulecheck.Warn, "", 0},
+		{"dup-name", "dup-pair", 11, rulecheck.Error, "dup-pair", 10},
+		{"empty-match", "catchall", 12, rulecheck.Error, "", 0},
+	}
+	for _, w := range wants {
+		found := false
+		for _, f := range fs {
+			if f.Check != w.check || f.Rule != w.rule {
+				continue
+			}
+			found = true
+			if f.Line != w.line {
+				t.Errorf("%s/%s: line %d, want %d", w.check, w.rule, f.Line, w.line)
+			}
+			if f.Severity != w.severity {
+				t.Errorf("%s/%s: severity %v, want %v", w.check, w.rule, f.Severity, w.severity)
+			}
+			if w.related != "" && (f.Related != w.related || f.RelatedLine != w.relatedLine) {
+				t.Errorf("%s/%s: related %q line %d, want %q line %d",
+					w.check, w.rule, f.Related, f.RelatedLine, w.related, w.relatedLine)
+			}
+		}
+		if !found {
+			t.Errorf("expected finding %s on rule %q did not fire; got:\n%s", w.check, w.rule, renderAll(fs))
+		}
+	}
+	if !rulecheck.HasErrors(fs) {
+		t.Error("HasErrors = false for a rule set with error findings")
+	}
+}
+
+func renderAll(fs []rulecheck.Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString("  " + f.String() + "\n")
+	}
+	return b.String()
+}
+
+func TestNewValidatedClassifier(t *testing.T) {
+	// A warn-only rule set builds, returning its findings.
+	warnOnly := []taxonomy.LocatedRule{
+		mk("quiet-panic", `kernel panic`, taxonomy.KernelPanic, taxonomy.SevInfo),
+	}
+	cls, fs, err := rulecheck.NewValidatedClassifier(warnOnly, rulecheck.Options{NoCorpus: true})
+	if err != nil {
+		t.Fatalf("warn-only set rejected: %v", err)
+	}
+	if cls == nil {
+		t.Fatal("nil classifier for accepted set")
+	}
+	if len(findingsOf(fs, "severity-mismatch")) == 0 {
+		t.Error("warnings were not returned alongside the classifier")
+	}
+	if cat, _ := cls.Classify("kernel panic - not syncing"); cat != taxonomy.KernelPanic {
+		t.Errorf("classifier misclassifies: got %v", cat)
+	}
+
+	// An error finding rejects the set with a diagnostic naming it.
+	bad := []taxonomy.LocatedRule{
+		mk("catchall", `.*`, taxonomy.SoftwareOS, taxonomy.SevInfo),
+		mk("dead", `kernel panic`, taxonomy.KernelPanic, taxonomy.SevCritical),
+	}
+	_, _, err = rulecheck.NewValidatedClassifier(bad, rulecheck.Options{NoCorpus: true})
+	if err == nil {
+		t.Fatal("error-severity set accepted")
+	}
+	if !strings.Contains(err.Error(), "empty-match") || !strings.Contains(err.Error(), "catchall") {
+		t.Errorf("rejection diagnostic not actionable: %v", err)
+	}
+}

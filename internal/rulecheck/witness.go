@@ -1,0 +1,138 @@
+package rulecheck
+
+import (
+	"regexp"
+	"regexp/syntax"
+	"strings"
+)
+
+// witnesses synthesizes up to max distinct strings that the compiled
+// pattern verifiably matches, by walking its syntax tree and picking
+// concrete choices: one branch per alternation, the first rune of a
+// character class, zero/one repetitions for quantifiers. Every candidate is
+// verified against the real pattern before being returned, so anchors and
+// case folding cannot produce false witnesses — an unverifiable candidate
+// is simply dropped.
+func witnesses(re *regexp.Regexp, tree *syntax.Regexp, max int) []string {
+	if tree == nil || max <= 0 {
+		return nil
+	}
+	cands := enumerate(tree, 4*max)
+	seen := make(map[string]bool, len(cands))
+	var out []string
+	for _, c := range cands {
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		if re.MatchString(c) {
+			out = append(out, c)
+			if len(out) == max {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// enumerate returns candidate strings for the subtree, capped at limit.
+func enumerate(t *syntax.Regexp, limit int) []string {
+	if limit <= 0 {
+		limit = 1
+	}
+	cap2 := func(ss []string) []string {
+		if len(ss) > limit {
+			return ss[:limit]
+		}
+		return ss
+	}
+	switch t.Op {
+	case syntax.OpNoMatch:
+		return nil
+	case syntax.OpEmptyMatch, syntax.OpBeginLine, syntax.OpEndLine,
+		syntax.OpBeginText, syntax.OpEndText,
+		syntax.OpWordBoundary, syntax.OpNoWordBoundary:
+		return []string{""}
+	case syntax.OpLiteral:
+		return []string{string(t.Rune)}
+	case syntax.OpCharClass:
+		if len(t.Rune) == 0 {
+			return nil
+		}
+		// Prefer a printable representative so diagnostics stay readable;
+		// t.Rune is a sorted list of [lo,hi] pairs.
+		for i := 0; i+1 < len(t.Rune); i += 2 {
+			for r := t.Rune[i]; r <= t.Rune[i+1] && r <= t.Rune[i]+64; r++ {
+				if r >= 0x20 && r < 0x7f {
+					return []string{string(r)}
+				}
+			}
+		}
+		return []string{string(t.Rune[0])}
+	case syntax.OpAnyChar, syntax.OpAnyCharNotNL:
+		return []string{"a"}
+	case syntax.OpCapture:
+		return enumerate(t.Sub[0], limit)
+	case syntax.OpStar, syntax.OpQuest:
+		subs := enumerate(t.Sub[0], limit-1)
+		out := []string{""}
+		for _, s := range subs {
+			if s != "" {
+				out = append(out, s)
+			}
+		}
+		return cap2(out)
+	case syntax.OpPlus:
+		return cap2(enumerate(t.Sub[0], limit))
+	case syntax.OpRepeat:
+		subs := enumerate(t.Sub[0], limit)
+		n := t.Min
+		if n == 0 {
+			out := []string{""}
+			for _, s := range subs {
+				if s != "" {
+					out = append(out, s)
+				}
+			}
+			return cap2(out)
+		}
+		out := make([]string, 0, len(subs))
+		for _, s := range subs {
+			out = append(out, strings.Repeat(s, n))
+		}
+		return cap2(out)
+	case syntax.OpConcat:
+		out := []string{""}
+		for _, sub := range t.Sub {
+			parts := enumerate(sub, limit)
+			if len(parts) == 0 {
+				return nil
+			}
+			next := make([]string, 0, len(out))
+			for _, pre := range out {
+				for _, p := range parts {
+					next = append(next, pre+p)
+					if len(next) >= limit {
+						break
+					}
+				}
+				if len(next) >= limit {
+					break
+				}
+			}
+			out = next
+		}
+		return out
+	case syntax.OpAlternate:
+		var out []string
+		for _, sub := range t.Sub {
+			out = append(out, enumerate(sub, limit-len(out))...)
+			if len(out) >= limit {
+				break
+			}
+		}
+		return cap2(out)
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,49 @@
+package rulecheck
+
+import (
+	"regexp"
+	"regexp/syntax"
+	"testing"
+)
+
+// TestWitnesses checks the synthesizer only ever returns strings the real
+// pattern matches, and that it finds representatives for the regex shapes
+// the built-in taxonomy uses.
+func TestWitnesses(t *testing.T) {
+	tests := []struct {
+		pattern string
+		min     int // minimum distinct witnesses expected
+	}{
+		{`kernel panic`, 1},
+		{`(?i)machine check.*(cache|tlb|bus|processor)`, 2},
+		{`uncorrect(ed|able).*(dram|memory|ecc)`, 2},
+		{`(?i)(blade|mezzanine|l0c?) (controller )?(fault|failure|unresponsive)`, 2},
+		{`x{2,4}[0-9a-f]`, 1},
+		{`\bword\b`, 1},
+		{`^anchored$`, 1},
+		{`[^a-z]+`, 1},
+	}
+	for _, tt := range tests {
+		re := regexp.MustCompile(tt.pattern)
+		tree, err := syntax.Parse(tt.pattern, syntax.Perl)
+		if err != nil {
+			t.Fatalf("%q: %v", tt.pattern, err)
+		}
+		ws := witnesses(re, tree.Simplify(), 8)
+		if len(ws) < tt.min {
+			t.Errorf("witnesses(%q) = %q, want at least %d", tt.pattern, ws, tt.min)
+		}
+		for _, w := range ws {
+			if !re.MatchString(w) {
+				t.Errorf("witnesses(%q) returned %q, which the pattern does not match", tt.pattern, w)
+			}
+		}
+	}
+	// A pattern with an empty character class has no witnesses; the
+	// synthesizer must say so rather than fabricate one.
+	re := regexp.MustCompile(`a[^\x00-\x{10FFFF}]`)
+	tree, _ := syntax.Parse(re.String(), syntax.Perl)
+	if ws := witnesses(re, tree.Simplify(), 8); len(ws) != 0 {
+		t.Errorf("impossible pattern produced witnesses %q", ws)
+	}
+}

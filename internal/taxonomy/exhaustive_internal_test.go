@@ -1,0 +1,56 @@
+package taxonomy
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCategoryTablesExhaustive pins the add-a-category checklist: anyone
+// inserting a new leaf before numCategories must also extend categoryNames
+// (and therefore ParseCategory, which iterates it) and assign the leaf to a
+// top-level group. The static half of this guarantee — switch statements
+// over Category staying exhaustive — is enforced by cmd/ldvet; this is the
+// dynamic half for the map-driven lookups a switch analyzer cannot see.
+func TestCategoryTablesExhaustive(t *testing.T) {
+	if len(categoryNames) != int(numCategories) {
+		t.Errorf("categoryNames has %d entries, want %d (one per category incl. Unclassified)",
+			len(categoryNames), int(numCategories))
+	}
+	seen := make(map[string]Category, int(numCategories))
+	for c := Unclassified; c < numCategories; c++ {
+		s := c.String()
+		if strings.HasPrefix(s, "CATEGORY(") {
+			t.Errorf("category %d has no name in categoryNames", int(c))
+			continue
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("categories %d and %d share the name %q", int(prev), int(c), s)
+		}
+		seen[s] = c
+		back, ok := ParseCategory(s)
+		if !ok || back != c {
+			t.Errorf("ParseCategory(%q) = (%v,%v), want (%v,true)", s, back, ok, c)
+		}
+		if c != Unclassified && c.Group() == GroupUnknown {
+			t.Errorf("category %v is not assigned to a top-level group", c)
+		}
+	}
+	if _, ok := ParseCategory("CATEGORY(1)"); ok {
+		t.Error("ParseCategory accepted the fallback rendering")
+	}
+}
+
+// TestSeverityTablesExhaustive is the same guarantee for Severity.
+func TestSeverityTablesExhaustive(t *testing.T) {
+	for _, s := range []Severity{SevInfo, SevWarning, SevError, SevCritical} {
+		name := s.String()
+		if strings.HasPrefix(name, "SEVERITY(") {
+			t.Errorf("severity %d has no mnemonic", int(s))
+			continue
+		}
+		back, ok := ParseSeverity(name)
+		if !ok || back != s {
+			t.Errorf("ParseSeverity(%q) = (%v,%v), want (%v,true)", name, back, ok, s)
+		}
+	}
+}

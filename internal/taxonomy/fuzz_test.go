@@ -1,0 +1,56 @@
+package taxonomy_test
+
+import (
+	"strings"
+	"testing"
+
+	"logdiver/internal/taxonomy"
+)
+
+// FuzzReadRules checks the rule-file parser never panics, and that every
+// accepted rule set survives a WriteRules→ReadRules round trip: parsed
+// names can never contain whitespace or a leading '#', so the writer must
+// accept them, and the re-parsed rules must be identical. This pins the
+// round-trip contract the two functions share.
+func FuzzReadRules(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"# only a comment\n",
+		"r1 KERNEL_PANIC CRIT panic pattern here\n",
+		"gpu-thermal GPU_BUS CRIT (?i)gpu thermal shutdown\nraid FS_UNAVAIL ERROR raid degraded\n",
+		"r1 NOT_A_CATEGORY CRIT x\n",
+		"r1 KERNEL_PANIC LOUD x\n",
+		"r1 KERNEL_PANIC CRIT [unclosed\n",
+		"too few fields\n",
+		"a HW_MEM_UE CRIT x{1,3} y | z\n",
+		"\tr2   HW_MEM_CE\tWARN   correct(ed|able)\n",
+		"r3 SW_OS ERROR .*\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		rules, err := taxonomy.ReadRules(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		var buf strings.Builder
+		if err := taxonomy.WriteRules(&buf, rules); err != nil {
+			t.Fatalf("accepted rules from %q but WriteRules failed: %v", s, err)
+		}
+		back, err := taxonomy.ReadRules(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip of %q failed to parse: %v\nwritten: %q", s, err, buf.String())
+		}
+		if len(back) != len(rules) {
+			t.Fatalf("round trip of %q: %d rules became %d", s, len(rules), len(back))
+		}
+		for i := range rules {
+			if back[i].Name != rules[i].Name ||
+				back[i].Category != rules[i].Category ||
+				back[i].Severity != rules[i].Severity ||
+				back[i].Pattern.String() != rules[i].Pattern.String() {
+				t.Fatalf("round trip of %q changed rule %d: %+v -> %+v", s, i, rules[i], back[i])
+			}
+		}
+	})
+}

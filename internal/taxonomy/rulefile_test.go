@@ -1,6 +1,8 @@
 package taxonomy_test
 
 import (
+	"math/rand"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -108,6 +110,119 @@ func TestWriteReadRoundTrip(t *testing.T) {
 		cb, sb := b.Classify(msg)
 		if ca != cb || sa != sb {
 			t.Errorf("classifiers disagree on %q: (%v,%v) vs (%v,%v)", msg, ca, sa, cb, sb)
+		}
+	}
+}
+
+func TestReadRuleFileLines(t *testing.T) {
+	input := `
+# comment
+r1 KERNEL_PANIC CRIT panic
+
+r2 HW_MEM_UE CRIT uncorrect(ed|able)
+`
+	rules, err := taxonomy.ReadRuleFile(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("got %d rules", len(rules))
+	}
+	if rules[0].Line != 3 || rules[1].Line != 5 {
+		t.Errorf("lines = %d,%d, want 3,5", rules[0].Line, rules[1].Line)
+	}
+}
+
+func TestWriteRulesRejectsUnparseableRules(t *testing.T) {
+	mk := func(name, pat string) []taxonomy.Rule {
+		return []taxonomy.Rule{{
+			Name: name, Pattern: regexp.MustCompile(pat),
+			Category: taxonomy.KernelPanic, Severity: taxonomy.SevCritical,
+		}}
+	}
+	bad := []struct {
+		label string
+		rules []taxonomy.Rule
+	}{
+		{"space in name", mk("bad name", "x")},
+		{"tab in name", mk("bad\tname", "x")},
+		{"comment name", mk("#silent", "x")},
+		{"empty pattern", mk("r", "")},
+		{"newline in pattern", mk("r", "a\nb")},
+		{"leading space in pattern", mk("r", " x")},
+		{"nil pattern", []taxonomy.Rule{{Name: "r", Category: taxonomy.KernelPanic, Severity: taxonomy.SevCritical}}},
+	}
+	for _, tt := range bad {
+		var buf strings.Builder
+		if err := taxonomy.WriteRules(&buf, tt.rules); err == nil {
+			t.Errorf("%s: WriteRules succeeded, want error (wrote %q)", tt.label, buf.String())
+		}
+	}
+	// The same shapes must still be writable once sanitized.
+	var buf strings.Builder
+	if err := taxonomy.WriteRules(&buf, mk("good-name", `a\nb|[ ]x`)); err != nil {
+		t.Errorf("sanitized rule rejected: %v", err)
+	}
+}
+
+// TestWriteReadPropertyRoundTrip drives WriteRules→ReadRules with
+// pseudo-random rule sets: every set WriteRules accepts must parse back to
+// the identical names, categories, severities and pattern texts.
+func TestWriteReadPropertyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	nameAlpha := []string{"r", "CRIT", "KERNEL_PANIC", "x-1", "a_b.c", "#tail", "0"}
+	patterns := []string{
+		`(?i)machine check.*uncorrected`, `a b c`, `x{1,3}`, `[0-9a-fx-]+`,
+		`foo|bar baz`, `\bpanic\b`, `a\nb`, `lcb.*(lane|link)`,
+	}
+	cats := taxonomy.Categories()
+	sevs := []taxonomy.Severity{taxonomy.SevInfo, taxonomy.SevWarning, taxonomy.SevError, taxonomy.SevCritical}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		rules := make([]taxonomy.Rule, n)
+		for i := range rules {
+			// Names are 1-3 fragments joined without separators; "#tail"
+			// is only corrupting in first position, which CheckName
+			// rejects, so it may appear as a suffix.
+			name := nameAlpha[rng.Intn(len(nameAlpha))]
+			for k := rng.Intn(3); k > 0; k-- {
+				name += nameAlpha[rng.Intn(len(nameAlpha))]
+			}
+			rules[i] = taxonomy.Rule{
+				Name:     name,
+				Pattern:  regexp.MustCompile(patterns[rng.Intn(len(patterns))]),
+				Category: cats[rng.Intn(len(cats))],
+				Severity: sevs[rng.Intn(len(sevs))],
+			}
+		}
+		var buf strings.Builder
+		if err := taxonomy.WriteRules(&buf, rules); err != nil {
+			// Only the documented round-trip hazards may be rejected.
+			ok := false
+			for _, r := range rules {
+				if taxonomy.CheckName(r.Name) != nil {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("trial %d: WriteRules rejected clean rules: %v", trial, err)
+			}
+			continue
+		}
+		back, err := taxonomy.ReadRules(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("trial %d: written set does not parse: %v\n%s", trial, err, buf.String())
+		}
+		if len(back) != len(rules) {
+			t.Fatalf("trial %d: %d rules round-tripped to %d", trial, len(rules), len(back))
+		}
+		for i := range rules {
+			if back[i].Name != rules[i].Name ||
+				back[i].Category != rules[i].Category ||
+				back[i].Severity != rules[i].Severity ||
+				back[i].Pattern.String() != rules[i].Pattern.String() {
+				t.Fatalf("trial %d rule %d changed: %+v -> %+v", trial, i, rules[i], back[i])
+			}
 		}
 	}
 }

@@ -145,7 +145,10 @@ func Groups() []Group {
 
 // Group returns the top-level class of the category.
 func (c Category) Group() Group {
+	//ldvet:exhaustive
 	switch c {
+	case Unclassified:
+		return GroupUnknown
 	case HardwareMemoryCE, HardwareMemoryUE, HardwareCPU, HardwarePower, HardwareBlade:
 		return GroupHardware
 	case GPUMemoryDBE, GPUBusOff, GPUPageRetir:
@@ -179,6 +182,7 @@ const (
 
 // String returns the severity mnemonic.
 func (s Severity) String() string {
+	//ldvet:exhaustive
 	switch s {
 	case SevInfo:
 		return "INFO"
@@ -258,6 +262,7 @@ func (c *Classifier) Clone() *Classifier {
 	out := &Classifier{rules: make([]Rule, len(c.rules))}
 	copy(out.rules, c.rules)
 	for i := range out.rules {
+		//ldvet:allow regexp-compile — recompiling is the point of Clone
 		out.rules[i].Pattern = regexp.MustCompile(out.rules[i].Pattern.String())
 	}
 	return out
@@ -276,6 +281,7 @@ func (c *Classifier) Rules() []Rule {
 // come first.
 func defaultRules() []Rule {
 	mk := func(name, pat string, cat Category, sev Severity) Rule {
+		//ldvet:allow regexp-compile — runs once at package init via DefaultClassifier
 		return Rule{Name: name, Pattern: regexp.MustCompile(pat), Category: cat, Severity: sev}
 	}
 	return []Rule{

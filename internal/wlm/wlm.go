@@ -280,6 +280,8 @@ func (a *Assembler) Add(r Record) error {
 		}
 	case EventAbort:
 		j.Aborted = true
+	default:
+		// Queue and delete records carry no state the assembled job tracks.
 	}
 	return nil
 }
