@@ -6,10 +6,12 @@
 //
 //	logdiver analyze -accounting acc.log -apsys apsys.log -syslog sys.log \
 //	    [-truth truth.jsonl] [-machine bluewaters|small] [-format ascii|md|csv]
-//	    [-rules site-rules.txt] [-parallelism N]
+//	    [-rules site-rules.txt] [-parallelism N] [-parse-mode lenient|strict]
 //	logdiver coalesce -syslog sys.log [-temporal 5m] [-spatial 2m] [-top 25]
 //	logdiver avail -syslog sys.log [-machine bluewaters|small] [-top 5]
 //	logdiver lint-rules [-rules site-rules.txt] [-json]
+//	logdiver mutate -in sys.log -out sys.corrupt.log [-manifest m.json] \
+//	    [-seed N] [-budget F] [-ops truncate,encoding,...] [-max-per-op N]
 //	logdiver generate -days 30 -out ./archive [-parallelism N]   (alias of tracegen)
 //
 // lint-rules runs the internal/rulecheck semantic linter over a classifier
@@ -22,6 +24,15 @@
 // (analyze: the three archives are parsed and classified concurrently) and
 // of archive emission (generate). 0 means one worker per CPU; 1 forces the
 // sequential path. Results and output bytes are identical at any setting.
+//
+// -parse-mode selects the malformed-input policy: lenient (default) skips
+// unparseable lines and accounts them per kind in the stderr summary;
+// strict fails on the first malformed line, naming archive and line.
+//
+// mutate deterministically corrupts a log archive for robustness testing
+// (seeded operators: truncate, interleave, duplicate, reorder, skew,
+// encoding, fielddrop, oversize) and writes a JSON manifest of every
+// injected mutation.
 //
 // The analyze subcommand prints the experiment tables (E1-E17, plus the
 // A1-A3 ablations when -truth is given) to stdout. coalesce prints the
@@ -37,10 +48,13 @@ import (
 	"sort"
 	"time"
 
+	"strings"
+
 	"logdiver"
 	"logdiver/internal/avail"
 	"logdiver/internal/coalesce"
 	"logdiver/internal/gen"
+	"logdiver/internal/mutate"
 	"logdiver/internal/rulecheck"
 	"logdiver/internal/syslogx"
 	"logdiver/internal/taxonomy"
@@ -68,8 +82,10 @@ func run(args []string) error {
 		return availCmd(args[1:])
 	case "lint-rules":
 		return lintRules(args[1:])
+	case "mutate":
+		return mutateCmd(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want analyze, avail, coalesce, generate or lint-rules)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want analyze, avail, coalesce, generate, lint-rules or mutate)", args[0])
 	}
 }
 
@@ -86,8 +102,13 @@ func analyze(args []string) error {
 		rules    = fs.String("rules", "", "optional classifier rule file (replaces the built-in taxonomy rules)")
 		validate = fs.Bool("validate-rules", true, "lint -rules files and reject rule sets with error-severity findings")
 		par      = fs.Int("parallelism", 0, "ingestion/attribution worker count (0 = GOMAXPROCS, 1 = sequential)")
+		mode     = fs.String("parse-mode", "lenient", "malformed-input policy: lenient (skip and account) or strict (fail fast)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	parseMode, err := logdiver.ParseModeFromString(*mode)
+	if err != nil {
 		return err
 	}
 	if *apsPath == "" {
@@ -141,7 +162,7 @@ func analyze(args []string) error {
 		return err
 	}
 
-	opts := logdiver.Options{Parallelism: *par}
+	opts := logdiver.Options{Parallelism: *par, ParseMode: parseMode}
 	if *rules != "" {
 		f, err := os.Open(*rules)
 		if err != nil {
@@ -169,8 +190,12 @@ func analyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "parsed: %d jobs, %d runs, %d events (%d malformed syslog lines skipped)\n",
-		len(res.Jobs), len(res.Runs), len(res.Events), res.Parse.SyslogMalformed)
+	fmt.Fprintf(os.Stderr, "parsed: %d jobs, %d runs, %d events (malformed lines skipped: %d accounting, %d apsys, %d syslog)\n",
+		len(res.Jobs), len(res.Runs), len(res.Events),
+		res.Parse.AccountingMalformed, res.Parse.ApsysMalformed, res.Parse.SyslogMalformed)
+	for _, s := range res.Parse.SyslogDetail.Samples.All() {
+		fmt.Fprintf(os.Stderr, "  malformed: %s\n", s)
+	}
 
 	var truthMap map[uint64]logdiver.Truth
 	if *truth != "" {
@@ -431,6 +456,72 @@ func availCmd(args []string) error {
 			d.From.Format("2006-01-02 15:04"), d.Duration().Round(time.Minute), open)
 	}
 	return nil
+}
+
+// mutateCmd deterministically corrupts a log archive with the seeded
+// operators of internal/mutate and writes the mutated archive plus an
+// optional JSON manifest of every injected mutation.
+func mutateCmd(args []string) error {
+	fs := flag.NewFlagSet("mutate", flag.ContinueOnError)
+	var (
+		in       = fs.String("in", "", "archive to corrupt")
+		out      = fs.String("out", "", "where to write the mutated archive")
+		manifest = fs.String("manifest", "", "optional path for the JSON mutation manifest")
+		seed     = fs.Int64("seed", 1, "mutation seed (same seed, same input: identical output)")
+		budget   = fs.Float64("budget", mutate.DefaultBudget, "per-operator corruption budget as a fraction of input lines")
+		ops      = fs.String("ops", "", "comma-separated operator subset (default: all): "+opNames())
+		maxPer   = fs.Int("max-per-op", 0, "hard cap on mutations per operator (0 = budget only)")
+		block    = fs.Int("block-lines", mutate.DefaultBlockLines, "block size for duplicate/reorder operators")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("mutate: -in and -out are required")
+	}
+	cfg := mutate.Config{Seed: *seed, Budget: *budget, MaxPerOp: *maxPer, BlockLines: *block}
+	if *ops != "" {
+		for _, name := range strings.Split(*ops, ",") {
+			o, ok := mutate.OpFromString(strings.TrimSpace(name))
+			if !ok {
+				return fmt.Errorf("mutate: unknown operator %q (want %s)", name, opNames())
+			}
+			cfg.Ops = append(cfg.Ops, o)
+		}
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	mutated, m := mutate.Apply(data, cfg)
+	if err := os.WriteFile(*out, mutated, 0o644); err != nil {
+		return err
+	}
+	if *manifest != "" {
+		f, err := os.Create(*manifest)
+		if err != nil {
+			return err
+		}
+		if err := m.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "mutated %s: %d -> %d lines, %d mutations (%d corrupting) seed=%d\n",
+		*in, m.InputLines, m.OutputLines, len(m.Mutations), len(m.Corrupting()), m.Seed)
+	return nil
+}
+
+// opNames renders the mutate operator vocabulary for flag help and errors.
+func opNames() string {
+	var names []string
+	for _, o := range mutate.AllOps() {
+		names = append(names, o.String())
+	}
+	return strings.Join(names, ",")
 }
 
 // generate delegates to the tracegen implementation by re-execing its logic

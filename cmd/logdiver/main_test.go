@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -362,6 +363,137 @@ func TestLintRulesJSON(t *testing.T) {
 	})
 	if strings.TrimSpace(out) != "[]" {
 		t.Errorf("clean set encoded as %q, want []", strings.TrimSpace(out))
+	}
+}
+
+func TestMutateSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	writeArchive(t, dir)
+	in := filepath.Join(dir, "syslog.log")
+	out := filepath.Join(dir, "syslog.corrupt.log")
+	manifest := filepath.Join(dir, "manifest.json")
+	err := run([]string{
+		"mutate", "-in", in, "-out", out, "-manifest", manifest,
+		"-seed", "5", "-budget", "0.01", "-ops", "truncate,encoding", "-max-per-op", "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(orig) == string(mutated) {
+		t.Error("mutate left the archive unchanged")
+	}
+	mf, err := os.Open(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	var m struct {
+		Seed      int64 `json:"seed"`
+		Mutations []struct {
+			Op string `json:"op"`
+		} `json:"mutations"`
+	}
+	if err := json.NewDecoder(mf).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Seed != 5 {
+		t.Errorf("manifest seed = %d, want 5", m.Seed)
+	}
+	if len(m.Mutations) == 0 || len(m.Mutations) > 8 {
+		t.Errorf("%d mutations recorded, want 1..8 (two ops, max 4 each)", len(m.Mutations))
+	}
+	for _, mu := range m.Mutations {
+		if mu.Op != "truncate" && mu.Op != "encoding" {
+			t.Errorf("operator %q ran outside the -ops subset", mu.Op)
+		}
+	}
+
+	// Same seed, same input: byte-identical output.
+	out2 := filepath.Join(dir, "syslog.corrupt2.log")
+	err = run([]string{
+		"mutate", "-in", in, "-out", out2,
+		"-seed", "5", "-budget", "0.01", "-ops", "truncate,encoding", "-max-per-op", "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated2, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(mutated) != string(mutated2) {
+		t.Error("same seed produced different mutated archives")
+	}
+
+	// Flag validation.
+	if err := run([]string{"mutate", "-in", in}); err == nil {
+		t.Error("mutate without -out accepted")
+	}
+	if err := run([]string{"mutate", "-in", in, "-out", out, "-ops", "bogus"}); err == nil {
+		t.Error("unknown operator accepted")
+	}
+	if err := run([]string{"mutate", "-in", "/does/not/exist", "-out", out}); err == nil {
+		t.Error("missing input file accepted")
+	}
+}
+
+func TestAnalyzeParseModeFlag(t *testing.T) {
+	dir := t.TempDir()
+	writeArchive(t, dir)
+	in := filepath.Join(dir, "accounting.log")
+	corrupt := filepath.Join(dir, "accounting.corrupt.log")
+	if err := run([]string{
+		"mutate", "-in", in, "-out", corrupt,
+		"-seed", "3", "-ops", "encoding", "-max-per-op", "2",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The generated syslog archive carries intentional noise lines, so the
+	// strict-mode cases run without it (only clean accounting + apsys).
+	args := func(acc, mode string) []string {
+		return []string{
+			"analyze",
+			"-accounting", acc,
+			"-apsys", filepath.Join(dir, "apsys.log"),
+			"-machine", "small",
+			"-parse-mode", mode,
+		}
+	}
+	// Strict mode fails on the corrupted archive with a line-numbered error.
+	err := run(args(corrupt, "strict"))
+	if err == nil {
+		t.Fatal("strict mode accepted a corrupted accounting archive")
+	}
+	var perr *logdiver.ParseError
+	if !errors.As(err, &perr) {
+		t.Fatalf("strict error %v is not a *ParseError", err)
+	}
+	if perr.Archive != "accounting" || perr.Line < 1 {
+		t.Errorf("strict error names %q line %d, want accounting line >= 1", perr.Archive, perr.Line)
+	}
+	// Lenient mode analyzes the same corrupted archive successfully.
+	_ = captureStdout(t, func() {
+		if err := run(args(corrupt, "lenient")); err != nil {
+			t.Errorf("lenient mode failed on corrupted archive: %v", err)
+		}
+	})
+	// Strict mode passes on the clean archive.
+	_ = captureStdout(t, func() {
+		if err := run(args(in, "strict")); err != nil {
+			t.Errorf("strict mode failed on clean archive: %v", err)
+		}
+	})
+	// Unknown mode is rejected.
+	if err := run(args(in, "bogus")); err == nil {
+		t.Error("unknown parse mode accepted")
 	}
 }
 

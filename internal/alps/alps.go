@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"logdiver/internal/machine"
+	"logdiver/internal/parse"
 )
 
 // Tag is the syslog program tag under which apsys logs application events.
@@ -131,7 +132,7 @@ func ParseMessage(body string) (Message, error) {
 	}
 	apid, err := strconv.ParseUint(apidStr, 10, 64)
 	if err != nil {
-		return m, fmt.Errorf("alps: bad apid %q: %w", apidStr, err)
+		return m, parse.Errorf(parse.KindField, body, "alps: bad apid %q", apidStr)
 	}
 	m.ApID = apid
 	switch {
@@ -140,29 +141,29 @@ func ParseMessage(body string) (Message, error) {
 		m.User = fields["user"]
 		m.JobID = fields["batch_id"]
 		m.Cmd = fields["cmd"]
-		if m.Width, err = atoiField(fields, "width"); err != nil {
+		if m.Width, err = atoiField(fields, "width", body); err != nil {
 			return m, err
 		}
-		numNodes, err := atoiField(fields, "num_nodes")
+		numNodes, err := atoiField(fields, "num_nodes", body)
 		if err != nil {
 			return m, err
 		}
 		m.Nodes, err = ParseNIDList(fields["node_list"])
 		if err != nil {
-			return m, err
+			return m, parse.Errorf(parse.KindField, body, "alps: bad node_list: %s", err.Error())
 		}
 		if len(m.Nodes) != numNodes {
-			return m, fmt.Errorf("alps: apid %d claims %d nodes but lists %d", apid, numNodes, len(m.Nodes))
+			return m, parse.Errorf(parse.KindStructure, body, "alps: apid %d claims %d nodes but lists %d", apid, numNodes, len(m.Nodes))
 		}
 	case fields["_marker"] == "Finishing":
 		m.Kind = KindFinishing
-		if m.ExitCode, err = atoiField(fields, "exit_code"); err != nil {
+		if m.ExitCode, err = atoiField(fields, "exit_code", body); err != nil {
 			return m, err
 		}
-		if m.Signal, err = atoiField(fields, "signal"); err != nil {
+		if m.Signal, err = atoiField(fields, "signal", body); err != nil {
 			return m, err
 		}
-		if m.NodeCnt, err = atoiField(fields, "node_cnt"); err != nil {
+		if m.NodeCnt, err = atoiField(fields, "node_cnt", body); err != nil {
 			return m, err
 		}
 	default:
@@ -182,7 +183,7 @@ func splitFields(body string) (map[string]string, error) {
 		}
 		if k, v, ok := strings.Cut(part, "="); ok {
 			if k == "" {
-				return nil, fmt.Errorf("alps: empty key in %q", body)
+				return nil, parse.Errorf(parse.KindStructure, body, "alps: empty key")
 			}
 			fields[k] = v
 		} else {
@@ -192,35 +193,52 @@ func splitFields(body string) (map[string]string, error) {
 	return fields, nil
 }
 
-func atoiField(fields map[string]string, key string) (int, error) {
+func atoiField(fields map[string]string, key, body string) (int, error) {
 	v, ok := fields[key]
 	if !ok {
-		return 0, fmt.Errorf("alps: missing field %q", key)
+		return 0, parse.Errorf(parse.KindField, body, "alps: missing field %q", key)
 	}
 	n, err := strconv.Atoi(v)
 	if err != nil {
-		return 0, fmt.Errorf("alps: field %s=%q not a number", key, v)
+		return 0, parse.Errorf(parse.KindField, body, "alps: field %s=%q not a number", key, v)
 	}
 	return n, nil
 }
 
 // Assembler pairs Starting/Finishing messages into AppRun records.
 type Assembler struct {
-	open      map[uint64]*AppRun
-	done      []AppRun
-	unmatched int
+	open       map[uint64]*AppRun
+	done       []AppRun
+	unmatched  int
+	duplicates int
+	clamped    int
+	lenient    bool
 }
 
-// NewAssembler returns an empty assembler.
+// NewAssembler returns an empty assembler in strict duplicate handling:
+// a second Starting for an open apid is an error.
 func NewAssembler() *Assembler {
 	return &Assembler{open: make(map[uint64]*AppRun)}
 }
+
+// SetLenient selects the degraded-record policy: when on, a second
+// Starting record for an apid that is already open is counted (see
+// Duplicates) and skipped — the first record wins — and a Finishing
+// stamped before its Starting is clamped to a zero-duration run (see
+// ClampedEnds) instead of failing the assembly. Corrupted archives
+// duplicate writer buffers and skew clocks; lenient ingestion must
+// tolerate both.
+func (a *Assembler) SetLenient(on bool) { a.lenient = on }
 
 // Add folds one timestamped apsys message into the assembler.
 func (a *Assembler) Add(at time.Time, m Message) error {
 	switch m.Kind {
 	case KindStarting:
 		if _, dup := a.open[m.ApID]; dup {
+			if a.lenient {
+				a.duplicates++
+				return nil
+			}
 			return fmt.Errorf("alps: duplicate Starting for apid %d", m.ApID)
 		}
 		a.open[m.ApID] = &AppRun{
@@ -237,6 +255,17 @@ func (a *Assembler) Add(at time.Time, m Message) error {
 		if !ok {
 			a.unmatched++
 			return nil // exit without a start: archive truncation, tolerated
+		}
+		if at.Before(run.Start) {
+			// A Finishing stamped before its Starting (clock skew, torn
+			// buffers) would give the run a negative duration and poison
+			// every downstream duration statistic.
+			if !a.lenient {
+				return fmt.Errorf("alps: apid %d Finishing at %s precedes Starting at %s",
+					m.ApID, at.Format(time.RFC3339), run.Start.Format(time.RFC3339))
+			}
+			a.clamped++
+			at = run.Start
 		}
 		delete(a.open, m.ApID)
 		run.End = at
@@ -271,3 +300,12 @@ func (a *Assembler) Open() int { return len(a.open) }
 
 // Unmatched returns the number of Finishing records with no Starting record.
 func (a *Assembler) Unmatched() int { return a.unmatched }
+
+// Duplicates returns the number of Starting records skipped because the
+// apid was already open (lenient mode only; strict assembly fails instead).
+func (a *Assembler) Duplicates() int { return a.duplicates }
+
+// ClampedEnds returns the number of Finishing records whose timestamp
+// preceded the paired Starting and was clamped to it, yielding a
+// zero-duration run (lenient mode only; strict assembly fails instead).
+func (a *Assembler) ClampedEnds() int { return a.clamped }

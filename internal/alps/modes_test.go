@@ -1,0 +1,159 @@
+package alps
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"logdiver/internal/parse"
+)
+
+// Error-path cases for the apsys message-body parser. Every entry is one
+// malformed body plus the Kind the parser must report. (Encoding and
+// oversize failures are caught a layer above, on the raw syslog line; see
+// the syslogx and core tests.)
+var alpsErrorCases = []struct {
+	name string
+	body string
+	kind parse.Kind
+}{
+	{"bad apid", "apid=notanumber, Starting, user=x", parse.KindField},
+	{"missing width", "apid=1, Starting, user=x, batch_id=9.bw, cmd=a.out, num_nodes=1, node_list=5", parse.KindField},
+	{"non-numeric width", "apid=1, Starting, user=x, batch_id=9.bw, cmd=a.out, width=lots, num_nodes=1, node_list=5", parse.KindField},
+	{"bad node list", "apid=1, Starting, user=x, batch_id=9.bw, cmd=a.out, width=16, num_nodes=1, node_list=5-", parse.KindField},
+	{"node count mismatch", "apid=1, Starting, user=x, batch_id=9.bw, cmd=a.out, width=16, num_nodes=3, node_list=5", parse.KindStructure},
+	{"empty key", "apid=1, Starting, =orphan", parse.KindStructure},
+	{"missing exit code", "apid=1, Finishing, signal=0, node_cnt=1", parse.KindField},
+	{"non-numeric signal", "apid=1, Finishing, exit_code=0, signal=SIGKILL, node_cnt=1", parse.KindField},
+}
+
+// TestParseMessageErrorKinds pins the typed Kind of every message-level
+// error path; the ingestion pipeline's per-kind malformed accounting
+// depends on these classifications.
+func TestParseMessageErrorKinds(t *testing.T) {
+	for _, tc := range alpsErrorCases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseMessage(tc.body)
+			var perr *parse.Error
+			if !errors.As(err, &perr) {
+				t.Fatalf("ParseMessage(%q) error %v is not a *parse.Error", tc.body, err)
+			}
+			if perr.Kind != tc.kind {
+				t.Errorf("kind = %v, want %v", perr.Kind, tc.kind)
+			}
+		})
+	}
+}
+
+// TestAssemblerRetrogradeFinishModes pins the handling of a Finishing
+// stamped before its Starting (clock skew): lenient clamps the run to zero
+// duration and counts it; strict fails the assembly. Negative durations
+// would poison every downstream duration statistic (found by driving the
+// full pipeline over skew-mutated archives).
+func TestAssemblerRetrogradeFinishModes(t *testing.T) {
+	at := time.Date(2013, 4, 3, 12, 0, 0, 0, time.UTC)
+	start, err := ParseMessage("apid=7, Starting, user=alice, batch_id=9.bw, cmd=a.out, width=16, num_nodes=1, node_list=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	finish, err := ParseMessage("apid=7, Finishing, exit_code=0, signal=0, node_cnt=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	strict := NewAssembler()
+	if err := strict.Add(at, start); err != nil {
+		t.Fatal(err)
+	}
+	if err := strict.Add(at.Add(-time.Hour), finish); err == nil {
+		t.Error("strict assembler accepted a Finishing before its Starting")
+	}
+
+	lenient := NewAssembler()
+	lenient.SetLenient(true)
+	if err := lenient.Add(at, start); err != nil {
+		t.Fatal(err)
+	}
+	if err := lenient.Add(at.Add(-time.Hour), finish); err != nil {
+		t.Fatalf("lenient assembler rejected a retrograde Finishing: %v", err)
+	}
+	if got := lenient.ClampedEnds(); got != 1 {
+		t.Errorf("ClampedEnds() = %d, want 1", got)
+	}
+	runs := lenient.Runs()
+	if len(runs) != 1 {
+		t.Fatalf("%d runs assembled, want 1", len(runs))
+	}
+	if d := runs[0].Duration(); d != 0 {
+		t.Errorf("clamped run duration %v, want 0", d)
+	}
+}
+
+// TestParseNIDListTotalCap guards the total-size cap: a list of many
+// individually-legal ranges must fail fast instead of expanding to
+// gigabytes (fuzzer-found hang).
+func TestParseNIDListTotalCap(t *testing.T) {
+	parts := make([]string, 8)
+	for i := range parts {
+		parts[i] = "0-4194303"
+	}
+	if _, err := ParseNIDList(strings.Join(parts, ",")); err == nil {
+		t.Error("ParseNIDList accepted a multi-range list expanding past the cap")
+	}
+	// A single plausible machine-sized range still parses.
+	ids, err := ParseNIDList("0-27712")
+	if err != nil || len(ids) != 27713 {
+		t.Errorf("machine-sized range failed: %d ids, %v", len(ids), err)
+	}
+}
+
+// TestAssemblerDuplicateStartModes pins the strict/lenient split of the
+// assembler: strict errors on a second Starting for an open apid, lenient
+// keeps the first placement, tolerates the duplicate and counts it.
+func TestAssemblerDuplicateStartModes(t *testing.T) {
+	at := time.Date(2013, 4, 3, 12, 0, 0, 0, time.UTC)
+	start, err := ParseMessage("apid=7, Starting, user=alice, batch_id=9.bw, cmd=a.out, width=16, num_nodes=1, node_list=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup, err := ParseMessage("apid=7, Starting, user=mallory, batch_id=8.bw, cmd=b.out, width=32, num_nodes=1, node_list=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	finish, err := ParseMessage("apid=7, Finishing, exit_code=0, signal=0, node_cnt=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	strict := NewAssembler()
+	if err := strict.Add(at, start); err != nil {
+		t.Fatal(err)
+	}
+	if err := strict.Add(at.Add(time.Second), dup); err == nil {
+		t.Error("strict assembler accepted a duplicate Starting")
+	}
+
+	lenient := NewAssembler()
+	lenient.SetLenient(true)
+	if err := lenient.Add(at, start); err != nil {
+		t.Fatal(err)
+	}
+	if err := lenient.Add(at.Add(time.Second), dup); err != nil {
+		t.Fatalf("lenient assembler rejected a duplicate Starting: %v", err)
+	}
+	if err := lenient.Add(at.Add(time.Minute), finish); err != nil {
+		t.Fatal(err)
+	}
+	if got := lenient.Duplicates(); got != 1 {
+		t.Errorf("Duplicates() = %d, want 1", got)
+	}
+	runs := lenient.Runs()
+	if len(runs) != 1 {
+		t.Fatalf("%d runs assembled, want 1", len(runs))
+	}
+	// First placement wins: the duplicate's fields must not leak in.
+	if runs[0].User != "alice" || runs[0].JobID != "9.bw" {
+		t.Errorf("duplicate overwrote the open run: %+v", runs[0])
+	}
+}

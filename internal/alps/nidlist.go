@@ -49,6 +49,12 @@ func FormatNIDList(ids []machine.NodeID) string {
 	return b.String()
 }
 
+// maxNIDListLen bounds the total node count a single list may expand to.
+// The largest real machines have tens of thousands of nodes; the cap exists
+// so adversarial inputs (many maximal ranges in one list) cannot force
+// gigabytes of allocation before validation fails.
+const maxNIDListLen = 1 << 22
+
 // ParseNIDList parses the compact range notation produced by FormatNIDList.
 // It returns node IDs in ascending order. An empty string yields nil.
 func ParseNIDList(s string) ([]machine.NodeID, error) {
@@ -69,8 +75,8 @@ func ParseNIDList(s string) ([]machine.NodeID, error) {
 				return nil, fmt.Errorf("alps: bad nid range %q in list %q", part, s)
 			}
 		}
-		if hi-lo > 1<<22 {
-			return nil, fmt.Errorf("alps: nid range %q implausibly large", part)
+		if hi-lo >= maxNIDListLen || len(out)+(hi-lo+1) > maxNIDListLen {
+			return nil, fmt.Errorf("alps: nid list %q implausibly large", s)
 		}
 		for id := lo; id <= hi; id++ {
 			out = append(out, machine.NodeID(id))

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -18,6 +19,7 @@ import (
 	"logdiver/internal/errlog"
 	"logdiver/internal/interval"
 	"logdiver/internal/machine"
+	"logdiver/internal/parse"
 	"logdiver/internal/syslogx"
 	"logdiver/internal/taxonomy"
 	"logdiver/internal/wlm"
@@ -56,6 +58,13 @@ type Options struct {
 	// fully sequential ingestion path. Parallel and sequential ingestion
 	// produce identical Results.
 	Parallelism int
+	// ParseMode selects the malformed-input policy. Lenient (the zero
+	// value) skips unparseable lines while accounting them — per-kind
+	// counters plus first-N provenance samples in ParseStats, identical
+	// between sequential and parallel ingestion. Strict fails fast: the
+	// first malformed line surfaces as a typed *parse.Error carrying the
+	// archive name and line number.
+	ParseMode parse.Mode
 }
 
 func (o Options) withDefaults() Options {
@@ -84,18 +93,43 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Archive names used in parse errors and malformed-line samples.
+const (
+	ArchiveAccounting = "accounting"
+	ArchiveApsys      = "apsys"
+	ArchiveSyslog     = "syslog"
+)
+
 // ParseStats reports archive hygiene: how much of the raw input was usable.
+// The malformed totals are derived from the per-archive detail (typed
+// per-kind counters with first-N line/offset provenance) and are identical
+// between sequential and parallel ingestion. ParseStats is comparable with
+// ==; the serial/parallel differential tests rely on that.
 type ParseStats struct {
 	// AccountingRecords and AccountingMalformed count accounting lines.
 	AccountingRecords, AccountingMalformed int
-	// ApsysLines and ApsysMalformed count ALPS log lines; OpenRuns and
-	// UnmatchedExits count pairing anomalies.
+	// ApsysLines and ApsysMalformed count ALPS log lines (the malformed
+	// total includes both syslog-level and apsys-message-level failures);
+	// OpenRuns and UnmatchedExits count pairing anomalies.
 	ApsysLines, ApsysMalformed int
 	OpenRuns, UnmatchedExits   int
+	// DuplicateStarts counts apsys Starting records skipped because the
+	// apid was already open — corrupted archives echo writer buffers;
+	// lenient ingestion tolerates and accounts the echo.
+	DuplicateStarts int
+	// ClampedRuns counts apsys Finishing records stamped before their
+	// Starting (clock skew) whose end time was clamped to the start,
+	// yielding a zero-duration run instead of a negative one.
+	ClampedRuns int
 	// SyslogLines and SyslogMalformed count error-log lines;
 	// Unclassified counts parsed lines no taxonomy rule matched.
 	SyslogLines, SyslogMalformed int
 	Unclassified                 int
+	// AccountingDetail, ApsysDetail and SyslogDetail break the malformed
+	// totals down by kind (structure, timestamp, field, encoding,
+	// oversize) and retain the first parse.MaxSamples offending lines per
+	// archive with line-number provenance.
+	AccountingDetail, ApsysDetail, SyslogDetail parse.LineStats
 }
 
 // Result is the complete pipeline output.
@@ -141,18 +175,18 @@ func Analyze(a Archives, top *machine.Topology, opts Options) (*Result, error) {
 		return finish(res, runs, events, top, opts)
 	}
 
-	jobs, err := readAccounting(a, res)
+	jobs, err := readAccounting(a, res, opts.ParseMode)
 	if err != nil {
 		return nil, err
 	}
 	res.Jobs = jobs
 
-	runs, err := readApsys(a, res)
+	runs, err := readApsys(a, res, opts.ParseMode)
 	if err != nil {
 		return nil, err
 	}
 
-	events, err := readSyslog(a, top, opts.Classifier, res)
+	events, err := readSyslog(a, top, opts.Classifier, res, opts.ParseMode)
 	if err != nil {
 		return nil, err
 	}
@@ -211,85 +245,143 @@ func finish(res *Result, runs []alps.AppRun, events []errlog.Event, top *machine
 	return res, nil
 }
 
-func readAccounting(a Archives, res *Result) ([]wlm.Job, error) {
+// archiveErr stamps the archive name onto typed parse errors and wraps err
+// with the pipeline prefix, so strict-mode failures read
+// "core: apsys: line 42: ..." (the parse.Error renders its own archive name;
+// other errors get the name from the wrap).
+func archiveErr(archive string, err error) error {
+	var pe *parse.Error
+	if errors.As(err, &pe) {
+		pe.Archive = archive
+		return fmt.Errorf("core: %w", err)
+	}
+	return fmt.Errorf("core: %s: %w", archive, err)
+}
+
+func readAccounting(a Archives, res *Result, mode parse.Mode) ([]wlm.Job, error) {
 	if a.Accounting == nil {
 		return nil, nil
 	}
-	sc := wlm.NewScanner(a.Accounting, a.Location)
+	sc := wlm.NewScannerMode(a.Accounting, a.Location, mode)
 	asm := wlm.NewAssembler()
 	for sc.Scan() {
 		res.Parse.AccountingRecords++
 		if err := asm.Add(sc.Record()); err != nil {
-			return nil, fmt.Errorf("core: accounting: %w", err)
+			return nil, archiveErr(ArchiveAccounting, err)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("core: accounting: %w", err)
+		return nil, archiveErr(ArchiveAccounting, err)
 	}
-	res.Parse.AccountingMalformed = sc.Malformed()
+	res.Parse.AccountingDetail = sc.Stats()
+	res.Parse.AccountingDetail.SetArchive(ArchiveAccounting)
+	res.Parse.AccountingMalformed = res.Parse.AccountingDetail.Malformed()
 	return asm.Jobs(), nil
 }
 
-func readApsys(a Archives, res *Result) ([]alps.AppRun, error) {
+// apsysMsg is one parsed apsys message with its syslog timestamp.
+type apsysMsg struct {
+	at  time.Time
+	msg alps.Message
+}
+
+// checkApsysLine applies the full per-line semantics of the apsys archive,
+// shared by the sequential reader and the parallel block workers so the two
+// paths cannot drift: the syslog layer first (blank lines skip, malformed
+// lines yield a typed error), then the apsys message layer for lines with
+// the apsys tag. counted reports whether the line counts toward ApsysLines
+// (the syslog layer parsed — including lines whose apsys message is
+// malformed); haveMsg reports whether msg holds a parsed message to feed the
+// assembler. Any returned error carries the archive line number no.
+func checkApsysLine(text string, no int) (msg apsysMsg, counted, haveMsg bool, perr *parse.Error) {
+	line, skip, perr := syslogx.CheckLine(text)
+	if skip {
+		return apsysMsg{}, false, false, nil
+	}
+	if perr != nil {
+		perr.Line = no
+		return apsysMsg{}, false, false, perr
+	}
+	if line.Tag != alps.Tag {
+		return apsysMsg{}, true, false, nil
+	}
+	m, err := alps.ParseMessage(line.Message)
+	if err != nil {
+		var pe *parse.Error
+		if !errors.As(err, &pe) {
+			pe = parse.Errorf(parse.KindStructure, line.Message, "%s", err.Error())
+		}
+		pe.Line = no
+		return apsysMsg{}, true, false, pe
+	}
+	return apsysMsg{at: line.Time, msg: m}, true, true, nil
+}
+
+func readApsys(a Archives, res *Result, mode parse.Mode) ([]alps.AppRun, error) {
 	if a.Apsys == nil {
 		return nil, nil
 	}
-	sc := syslogx.NewScanner(a.Apsys)
+	lr := parse.NewLineReader(a.Apsys)
 	asm := alps.NewAssembler()
-	for sc.Scan() {
-		line := sc.Line()
-		res.Parse.ApsysLines++
-		if line.Tag != alps.Tag {
+	asm.SetLenient(mode == parse.Lenient)
+	var stats parse.LineStats
+	for {
+		text, no, ok := lr.Next()
+		if !ok {
+			break
+		}
+		msg, counted, haveMsg, perr := checkApsysLine(text, no)
+		if counted {
+			res.Parse.ApsysLines++
+		}
+		if perr != nil {
+			if mode == parse.Strict {
+				return nil, archiveErr(ArchiveApsys, perr)
+			}
+			stats.Record(perr)
 			continue
 		}
-		m, err := alps.ParseMessage(line.Message)
-		if err != nil {
-			res.Parse.ApsysMalformed++
+		if !haveMsg {
 			continue
 		}
-		if err := asm.Add(line.Time, m); err != nil {
-			return nil, fmt.Errorf("core: apsys: %w", err)
+		if err := asm.Add(msg.at, msg.msg); err != nil {
+			return nil, archiveErr(ArchiveApsys, err)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("core: apsys: %w", err)
+	if err := lr.Err(); err != nil {
+		return nil, archiveErr(ArchiveApsys, err)
 	}
-	res.Parse.ApsysMalformed += sc.Malformed()
+	res.Parse.ApsysDetail = stats
+	res.Parse.ApsysDetail.SetArchive(ArchiveApsys)
+	res.Parse.ApsysMalformed = res.Parse.ApsysDetail.Malformed()
 	res.Parse.OpenRuns = asm.Open()
 	res.Parse.UnmatchedExits = asm.Unmatched()
+	res.Parse.DuplicateStarts = asm.Duplicates()
+	res.Parse.ClampedRuns = asm.ClampedEnds()
 	return asm.Runs(), nil
 }
 
-func readSyslog(a Archives, top *machine.Topology, cls *taxonomy.Classifier, res *Result) ([]errlog.Event, error) {
+func readSyslog(a Archives, top *machine.Topology, cls *taxonomy.Classifier, res *Result, mode parse.Mode) ([]errlog.Event, error) {
 	if a.Syslog == nil {
 		return nil, nil
 	}
-	sc := syslogx.NewScanner(a.Syslog)
+	sc := syslogx.NewScannerMode(a.Syslog, mode)
 	var events []errlog.Event
 	for sc.Scan() {
 		line := sc.Line()
 		res.Parse.SyslogLines++
-		cat, sev := cls.Classify(line.Message)
-		if cat == taxonomy.Unclassified {
+		e, ok := errlog.FromLine(line, top, cls)
+		if !ok {
 			res.Parse.Unclassified++
 			continue
 		}
-		node := errlog.SystemWide
-		if id, err := top.LookupString(line.Host); err == nil {
-			node = id
-		}
-		events = append(events, errlog.Event{
-			Time:     line.Time,
-			Node:     node,
-			Cname:    line.Host,
-			Category: cat,
-			Severity: sev,
-			Message:  line.Message,
-		})
+		events = append(events, e)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("core: syslog: %w", err)
+		return nil, archiveErr(ArchiveSyslog, err)
 	}
-	res.Parse.SyslogMalformed = sc.Malformed()
+	res.Parse.SyslogDetail = sc.Stats()
+	res.Parse.SyslogDetail.SetArchive(ArchiveSyslog)
+	res.Parse.SyslogMalformed = res.Parse.SyslogDetail.Malformed()
 	return events, nil
 }

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"logdiver/internal/mutate"
+	"logdiver/internal/parse"
+	"logdiver/internal/stream"
+	"logdiver/internal/syslogx"
+	"logdiver/internal/wlm"
+)
+
+// fuzzInputCap keeps individual fuzz executions fast; the parsers' large-line
+// behavior is covered by the oversize seeds below (parse.MaxLineBytes is a
+// per-line cap, exercised via mutate's oversize operator at smaller scale).
+const fuzzInputCap = 64 << 10
+
+// mutateSeeds corrupts a clean archive once per operator and returns the
+// variants: the fuzz corpus starts from every corruption class the
+// robustness suite defends against, not just from hand-written typos.
+func mutateSeeds(clean []byte) [][]byte {
+	seeds := [][]byte{clean}
+	for i, op := range mutate.AllOps() {
+		cfg := mutate.Config{Seed: int64(i + 1), Ops: []mutate.Op{op}, MaxPerOp: 2}
+		if op == mutate.OpOversize {
+			// Keep oversize seeds within the input cap: enough padding to
+			// matter, not a megabyte per seed.
+			continue
+		}
+		out, m := mutate.Apply(clean, cfg)
+		if len(m.Mutations) > 0 {
+			seeds = append(seeds, out)
+		}
+	}
+	return seeds
+}
+
+func cleanAccounting(n int) []byte {
+	var b strings.Builder
+	base := time.Date(2013, 4, 3, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		rec := wlm.Record{
+			Time: base.Add(time.Duration(i) * time.Minute), Type: wlm.EventEnd,
+			JobID:  "9.bw",
+			Fields: map[string]string{"Exit_status": "0", "user": "alice"},
+		}
+		b.WriteString(wlm.FormatRecord(rec))
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+func cleanSyslog(n int) []byte {
+	var b strings.Builder
+	base := time.Date(2013, 4, 3, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		b.WriteString(syslogx.Format(syslogx.Line{
+			Time: base.Add(time.Duration(i) * time.Second),
+			Host: "c0-0c0s0n1", Tag: "kernel", Message: "machine check exception",
+		}))
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+func cleanApsys(n int) []byte {
+	var b strings.Builder
+	base := time.Date(2013, 4, 3, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		b.WriteString(syslogx.Format(syslogx.Line{
+			Time: base.Add(time.Duration(i) * time.Second),
+			Host: "nid00005", Tag: "apsys",
+			Message: "apid=100, Starting, user=alice, batch_id=9.bw, cmd=a.out, width=16, num_nodes=1, node_list=5",
+		}))
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// FuzzParseAccounting pins the serial accounting scanner to the parallel
+// block parser on arbitrary archives: identical records, identical
+// malformed-line accounting, identical strict-mode failure.
+func FuzzParseAccounting(f *testing.F) {
+	for _, seed := range mutateSeeds(cleanAccounting(12)) {
+		f.Add(seed)
+	}
+	f.Add([]byte("04/03/2013 12:00:00;E;9.bw;garbage\n\n;;;\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > fuzzInputCap {
+			return
+		}
+		sc := wlm.NewScannerMode(bytes.NewReader(data), time.UTC, parse.Lenient)
+		var serial []wlm.Record
+		for sc.Scan() {
+			serial = append(serial, sc.Record())
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatalf("lenient scanner failed: %v", err)
+		}
+		recs, stats, err := wlm.ParseBlockMode(data, time.UTC, 1, parse.Lenient)
+		if err != nil {
+			t.Fatalf("lenient block failed: %v", err)
+		}
+		if len(recs) != len(serial) {
+			t.Fatalf("block parsed %d records, scanner %d", len(recs), len(serial))
+		}
+		if stats != sc.Stats() {
+			t.Fatalf("stats diverge:\n block   %+v\n scanner %+v", stats, sc.Stats())
+		}
+
+		strictSc := wlm.NewScannerMode(bytes.NewReader(data), time.UTC, parse.Strict)
+		for strictSc.Scan() {
+		}
+		_, _, blockErr := wlm.ParseBlockMode(data, time.UTC, 1, parse.Strict)
+		serialErr := strictSc.Err()
+		if (serialErr == nil) != (blockErr == nil) {
+			t.Fatalf("strict disagreement: scanner %v, block %v", serialErr, blockErr)
+		}
+		if serialErr != nil && serialErr.Error() != blockErr.Error() {
+			t.Fatalf("strict errors diverge:\n scanner %v\n block   %v", serialErr, blockErr)
+		}
+		if serialErr == nil && stats.Malformed() != 0 {
+			t.Fatalf("strict passed but lenient counted %d malformed", stats.Malformed())
+		}
+	})
+}
+
+// FuzzParseSyslog pins the serial syslog scanner to the parallel block
+// parser on arbitrary archives.
+func FuzzParseSyslog(f *testing.F) {
+	for _, seed := range mutateSeeds(cleanSyslog(12)) {
+		f.Add(seed)
+	}
+	f.Add([]byte("not a syslog line\n\n2013-04-03T12:00:00.000000+00:00 host tag: ok\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > fuzzInputCap {
+			return
+		}
+		sc := syslogx.NewScannerMode(bytes.NewReader(data), parse.Lenient)
+		var serial []syslogx.Line
+		var serialNums []int
+		for sc.Scan() {
+			serial = append(serial, sc.Line())
+			serialNums = append(serialNums, sc.LineNo())
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatalf("lenient scanner failed: %v", err)
+		}
+		lines, nums, stats, err := syslogx.ParseBlockMode(data, 1, parse.Lenient)
+		if err != nil {
+			t.Fatalf("lenient block failed: %v", err)
+		}
+		if len(lines) != len(serial) {
+			t.Fatalf("block parsed %d lines, scanner %d", len(lines), len(serial))
+		}
+		for i := range nums {
+			if nums[i] != serialNums[i] {
+				t.Fatalf("line numbering diverges at %d: block %d, scanner %d", i, nums[i], serialNums[i])
+			}
+		}
+		if stats != sc.Stats() {
+			t.Fatalf("stats diverge:\n block   %+v\n scanner %+v", stats, sc.Stats())
+		}
+
+		strictSc := syslogx.NewScannerMode(bytes.NewReader(data), parse.Strict)
+		for strictSc.Scan() {
+		}
+		_, _, _, blockErr := syslogx.ParseBlockMode(data, 1, parse.Strict)
+		serialErr := strictSc.Err()
+		if (serialErr == nil) != (blockErr == nil) {
+			t.Fatalf("strict disagreement: scanner %v, block %v", serialErr, blockErr)
+		}
+		if serialErr != nil && serialErr.Error() != blockErr.Error() {
+			t.Fatalf("strict errors diverge:\n scanner %v\n block   %v", serialErr, blockErr)
+		}
+	})
+}
+
+// FuzzParseApsys pins the serial per-line apsys checker to the parallel
+// block parser on arbitrary archives, plus checkApsysLine's own invariants.
+func FuzzParseApsys(f *testing.F) {
+	for _, seed := range mutateSeeds(cleanApsys(12)) {
+		f.Add(seed)
+	}
+	f.Add([]byte("2013-04-03T12:00:00.000000+00:00 nid00005 apsys: apid=bad, Starting\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > fuzzInputCap {
+			return
+		}
+		lr := parse.NewLineReader(bytes.NewReader(data))
+		var serial apsChunk
+		for {
+			text, no, ok := lr.Next()
+			if !ok {
+				break
+			}
+			msg, counted, haveMsg, perr := checkApsysLine(text, no)
+			if haveMsg && (perr != nil || !counted) {
+				t.Fatalf("line %d: message with perr=%v counted=%v", no, perr, counted)
+			}
+			if counted {
+				serial.lines++
+			}
+			if perr != nil {
+				if perr.Line != no {
+					t.Fatalf("error line %d stamped on line %d", perr.Line, no)
+				}
+				serial.stats.Record(perr)
+				continue
+			}
+			if haveMsg {
+				serial.msgs = append(serial.msgs, msg)
+			}
+		}
+		if err := lr.Err(); err != nil {
+			t.Fatalf("line reader failed: %v", err)
+		}
+		c, err := parseApsysBlock(stream.Block{Data: data, FirstLine: 1}, parse.Lenient)
+		if err != nil {
+			t.Fatalf("lenient block failed: %v", err)
+		}
+		if c.lines != serial.lines || len(c.msgs) != len(serial.msgs) {
+			t.Fatalf("block (%d lines, %d msgs) vs serial (%d lines, %d msgs)",
+				c.lines, len(c.msgs), serial.lines, len(serial.msgs))
+		}
+		if c.stats != serial.stats {
+			t.Fatalf("stats diverge:\n block  %+v\n serial %+v", c.stats, serial.stats)
+		}
+
+		_, strictErr := parseApsysBlock(stream.Block{Data: data, FirstLine: 1}, parse.Strict)
+		if (strictErr == nil) != (serial.stats.Malformed() == 0) {
+			t.Fatalf("strict err %v but lenient counted %d malformed", strictErr, serial.stats.Malformed())
+		}
+	})
+}

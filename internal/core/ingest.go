@@ -5,17 +5,23 @@ package core
 // split into line-aligned blocks that a worker pool (bounded by
 // Options.Parallelism per archive) parses — and, for syslog, classifies —
 // concurrently. Block results are merged back in archive order, so the
-// assembled jobs, runs, events and ParseStats are identical to the
+// assembled jobs, runs, events and ParseStats — including the per-kind
+// malformed counters and provenance samples — are identical to the
 // sequential path; TestParallelAnalyzeMatchesSerial asserts exact equality
 // of the whole Result.
 //
 // ParseStats accumulation is race-free by construction: each archive reader
-// owns a private ParseStats, each block's counters travel with the block
-// result and are folded in on the single consumer goroutine, and the three
-// private structs are merged after all readers join.
+// owns a private ParseStats, each block's counters and line-stats travel
+// with the block result and are folded in on the single consumer goroutine,
+// and the three private structs are merged after all readers join.
+//
+// Strict mode stays deterministic under parallelism: each block worker
+// reports the first malformed line of its block (with the archive line
+// number from the block's provenance), and stream.Ordered surfaces the
+// first error in block-production order — together, the first malformed
+// line of the whole archive, exactly as the sequential scan would.
 
 import (
-	"fmt"
 	"io"
 	"sync"
 	"time"
@@ -23,6 +29,7 @@ import (
 	"logdiver/internal/alps"
 	"logdiver/internal/errlog"
 	"logdiver/internal/machine"
+	"logdiver/internal/parse"
 	"logdiver/internal/stream"
 	"logdiver/internal/syslogx"
 	"logdiver/internal/taxonomy"
@@ -42,9 +49,14 @@ func (s *ParseStats) merge(o ParseStats) {
 	s.ApsysMalformed += o.ApsysMalformed
 	s.OpenRuns += o.OpenRuns
 	s.UnmatchedExits += o.UnmatchedExits
+	s.DuplicateStarts += o.DuplicateStarts
+	s.ClampedRuns += o.ClampedRuns
 	s.SyslogLines += o.SyslogLines
 	s.SyslogMalformed += o.SyslogMalformed
 	s.Unclassified += o.Unclassified
+	s.AccountingDetail.Merge(o.AccountingDetail)
+	s.ApsysDetail.Merge(o.ApsysDetail)
+	s.SyslogDetail.Merge(o.SyslogDetail)
 }
 
 // ingestParallel parses the three archives concurrently and returns the
@@ -58,17 +70,20 @@ func ingestParallel(a Archives, top *machine.Topology, opts Options) (jobs []wlm
 	wg.Add(3)
 	go func() {
 		defer wg.Done()
-		jobs, accErr = readAccountingParallel(a.Accounting, a.Location, opts.Parallelism, &accStats)
+		jobs, accErr = readAccountingParallel(a.Accounting, a.Location, opts.Parallelism, opts.ParseMode, &accStats)
 	}()
 	go func() {
 		defer wg.Done()
-		runs, apsErr = readApsysParallel(a.Apsys, opts.Parallelism, &apsStats)
+		runs, apsErr = readApsysParallel(a.Apsys, opts.Parallelism, opts.ParseMode, &apsStats)
 	}()
 	go func() {
 		defer wg.Done()
-		events, sysErr = readSyslogParallel(a.Syslog, top, opts.Classifier, opts.Parallelism, &sysStats)
+		events, sysErr = readSyslogParallel(a.Syslog, top, opts.Classifier, opts.Parallelism, opts.ParseMode, &sysStats)
 	}()
 	wg.Wait()
+	// Surface errors in fixed archive order (accounting, apsys, syslog) so a
+	// strict-mode run with corruption in several archives reports the same
+	// failure as the sequential path.
 	for _, e := range []error{accErr, apsErr, sysErr} {
 		if e != nil {
 			return nil, nil, nil, ParseStats{}, e
@@ -82,23 +97,26 @@ func ingestParallel(a Archives, top *machine.Topology, opts Options) (jobs []wlm
 
 // accChunk is one parsed accounting block.
 type accChunk struct {
-	recs      []wlm.Record
-	malformed int
+	recs  []wlm.Record
+	stats parse.LineStats
 }
 
-func readAccountingParallel(r io.Reader, loc *time.Location, workers int, st *ParseStats) ([]wlm.Job, error) {
+func readAccountingParallel(r io.Reader, loc *time.Location, workers int, mode parse.Mode, st *ParseStats) ([]wlm.Job, error) {
 	if r == nil {
 		return nil, nil
 	}
 	asm := wlm.NewAssembler()
-	err := stream.OrderedBlocks(r, ingestBlockSize, workers,
-		func(block []byte) (accChunk, error) {
-			recs, malformed := wlm.ParseBlock(block, loc)
-			return accChunk{recs: recs, malformed: malformed}, nil
+	err := stream.OrderedNumberedBlocks(r, ingestBlockSize, workers,
+		func(b stream.Block) (accChunk, error) {
+			recs, stats, err := wlm.ParseBlockMode(b.Data, loc, b.FirstLine, mode)
+			if err != nil {
+				return accChunk{}, err
+			}
+			return accChunk{recs: recs, stats: stats}, nil
 		},
 		func(c accChunk) error {
 			st.AccountingRecords += len(c.recs)
-			st.AccountingMalformed += c.malformed
+			st.AccountingDetail.Merge(c.stats)
 			for _, rec := range c.recs {
 				if err := asm.Add(rec); err != nil {
 					return err
@@ -107,50 +125,64 @@ func readAccountingParallel(r io.Reader, loc *time.Location, workers int, st *Pa
 			return nil
 		})
 	if err != nil {
-		return nil, fmt.Errorf("core: accounting: %w", err)
+		return nil, archiveErr(ArchiveAccounting, err)
 	}
+	st.AccountingDetail.SetArchive(ArchiveAccounting)
+	st.AccountingMalformed = st.AccountingDetail.Malformed()
 	return asm.Jobs(), nil
-}
-
-// apsysMsg is one parsed apsys placement record with its timestamp.
-type apsysMsg struct {
-	at  time.Time
-	msg alps.Message
 }
 
 // apsChunk is one parsed apsys block.
 type apsChunk struct {
-	msgs      []apsysMsg
-	lines     int // well-formed syslog lines (any tag)
-	malformed int // syslog-level + apsys-level malformed
+	msgs  []apsysMsg
+	lines int // well-formed syslog lines (any tag)
+	stats parse.LineStats
 }
 
-func readApsysParallel(r io.Reader, workers int, st *ParseStats) ([]alps.AppRun, error) {
+// parseApsysBlock applies checkApsysLine — the exact per-line semantics of
+// the sequential apsys reader — to every line of a numbered block.
+func parseApsysBlock(b stream.Block, mode parse.Mode) (apsChunk, error) {
+	var c apsChunk
+	no := b.FirstLine - 1
+	var failed *parse.Error
+	stream.ForEachLine(b.Data, func(raw []byte) {
+		no++
+		if failed != nil {
+			return
+		}
+		msg, counted, haveMsg, perr := checkApsysLine(string(raw), no)
+		if counted {
+			c.lines++
+		}
+		if perr != nil {
+			if mode == parse.Strict {
+				failed = perr
+				return
+			}
+			c.stats.Record(perr)
+			return
+		}
+		if haveMsg {
+			c.msgs = append(c.msgs, msg)
+		}
+	})
+	if failed != nil {
+		return apsChunk{}, failed
+	}
+	return c, nil
+}
+
+func readApsysParallel(r io.Reader, workers int, mode parse.Mode, st *ParseStats) ([]alps.AppRun, error) {
 	if r == nil {
 		return nil, nil
 	}
 	asm := alps.NewAssembler()
-	err := stream.OrderedBlocks(r, ingestBlockSize, workers,
-		func(block []byte) (apsChunk, error) {
-			lines, malformed := syslogx.ParseBlock(block)
-			c := apsChunk{malformed: malformed, lines: len(lines)}
-			c.msgs = make([]apsysMsg, 0, len(lines))
-			for _, line := range lines {
-				if line.Tag != alps.Tag {
-					continue
-				}
-				m, err := alps.ParseMessage(line.Message)
-				if err != nil {
-					c.malformed++
-					continue
-				}
-				c.msgs = append(c.msgs, apsysMsg{at: line.Time, msg: m})
-			}
-			return c, nil
-		},
+	asm.SetLenient(mode == parse.Lenient)
+	err := stream.OrderedNumberedBlocks(r, ingestBlockSize, workers,
+		func(b stream.Block) (apsChunk, error) { return parseApsysBlock(b, mode) },
 		func(c apsChunk) error {
 			st.ApsysLines += c.lines
-			st.ApsysMalformed += c.malformed
+			st.ApsysDetail.Merge(c.stats)
 			for _, m := range c.msgs {
 				if err := asm.Add(m.at, m.msg); err != nil {
 					return err
@@ -159,10 +191,14 @@ func readApsysParallel(r io.Reader, workers int, st *ParseStats) ([]alps.AppRun,
 			return nil
 		})
 	if err != nil {
-		return nil, fmt.Errorf("core: apsys: %w", err)
+		return nil, archiveErr(ArchiveApsys, err)
 	}
+	st.ApsysDetail.SetArchive(ArchiveApsys)
+	st.ApsysMalformed = st.ApsysDetail.Malformed()
 	st.OpenRuns = asm.Open()
 	st.UnmatchedExits = asm.Unmatched()
+	st.DuplicateStarts = asm.Duplicates()
+	st.ClampedRuns = asm.ClampedEnds()
 	return asm.Runs(), nil
 }
 
@@ -170,50 +206,44 @@ func readApsysParallel(r io.Reader, workers int, st *ParseStats) ([]alps.AppRun,
 type sysChunk struct {
 	events       []errlog.Event
 	lines        int // well-formed lines
-	malformed    int
 	unclassified int
+	stats        parse.LineStats
 }
 
-func readSyslogParallel(r io.Reader, top *machine.Topology, cls *taxonomy.Classifier, workers int, st *ParseStats) ([]errlog.Event, error) {
+func readSyslogParallel(r io.Reader, top *machine.Topology, cls *taxonomy.Classifier, workers int, mode parse.Mode, st *ParseStats) ([]errlog.Event, error) {
 	if r == nil {
 		return nil, nil
 	}
 	var events []errlog.Event
-	err := stream.OrderedBlocks(r, ingestBlockSize, workers,
-		func(block []byte) (sysChunk, error) {
-			lines, malformed := syslogx.ParseBlock(block)
-			c := sysChunk{malformed: malformed, lines: len(lines)}
+	err := stream.OrderedNumberedBlocks(r, ingestBlockSize, workers,
+		func(b stream.Block) (sysChunk, error) {
+			lines, _, stats, err := syslogx.ParseBlockMode(b.Data, b.FirstLine, mode)
+			if err != nil {
+				return sysChunk{}, err
+			}
+			c := sysChunk{stats: stats, lines: len(lines)}
 			c.events = make([]errlog.Event, 0, len(lines))
 			for _, line := range lines {
-				cat, sev := cls.Classify(line.Message)
-				if cat == taxonomy.Unclassified {
+				e, ok := errlog.FromLine(line, top, cls)
+				if !ok {
 					c.unclassified++
 					continue
 				}
-				node := errlog.SystemWide
-				if id, err := top.LookupString(line.Host); err == nil {
-					node = id
-				}
-				c.events = append(c.events, errlog.Event{
-					Time:     line.Time,
-					Node:     node,
-					Cname:    line.Host,
-					Category: cat,
-					Severity: sev,
-					Message:  line.Message,
-				})
+				c.events = append(c.events, e)
 			}
 			return c, nil
 		},
 		func(c sysChunk) error {
 			st.SyslogLines += c.lines
-			st.SyslogMalformed += c.malformed
 			st.Unclassified += c.unclassified
+			st.SyslogDetail.Merge(c.stats)
 			events = append(events, c.events...)
 			return nil
 		})
 	if err != nil {
-		return nil, fmt.Errorf("core: syslog: %w", err)
+		return nil, archiveErr(ArchiveSyslog, err)
 	}
+	st.SyslogDetail.SetArchive(ArchiveSyslog)
+	st.SyslogMalformed = st.SyslogDetail.Malformed()
 	return events, nil
 }

@@ -12,6 +12,8 @@ import (
 	"bytes"
 	"io"
 	"sync"
+
+	"logdiver/internal/parse"
 )
 
 // DefaultBlockSize is the block granularity used by archive ingestion when
@@ -20,10 +22,23 @@ import (
 // enough that a handful of blocks are in flight per worker.
 const DefaultBlockSize = 256 << 10
 
-// MaxLineBytes bounds a single line, matching the bufio.Scanner buffer limit
-// the sequential scanners use (see syslogx.NewScanner); a longer line makes
-// Blocks fail with bufio.ErrTooLong exactly as the sequential path does.
-const MaxLineBytes = 1 << 20
+// MaxLineBytes is the per-line acceptance cap shared with the parsers
+// (parse.MaxLineBytes). Lines beyond it still travel through Blocks whole —
+// the parsers account them as oversize-malformed — so lenient ingestion can
+// skip-and-count an oversized line instead of aborting the archive. Only a
+// line beyond parse.AbsMaxLineBytes (input that is not line-structured at
+// all) fails Blocks with bufio.ErrTooLong, matching the sequential
+// parse.LineReader.
+const MaxLineBytes = parse.MaxLineBytes
+
+// Block is one line-aligned chunk of an archive together with the 1-based
+// line number of its first line, so parallel block parsers can report
+// malformed-line provenance identical to a sequential scan.
+type Block struct {
+	Data []byte
+	// FirstLine is the 1-based archive line number of the block's first line.
+	FirstLine int
+}
 
 // Blocks reads r as a sequence of byte blocks of roughly blockSize bytes,
 // each extended (or shrunk) to end on a line boundary so no line is ever
@@ -32,10 +47,17 @@ const MaxLineBytes = 1 << 20
 // the input does not end in a newline. Emission stops without error when
 // emit returns false. blockSize < 1 selects DefaultBlockSize.
 func Blocks(r io.Reader, blockSize int, emit func(block []byte) bool) error {
+	return NumberedBlocks(r, blockSize, func(b Block) bool { return emit(b.Data) })
+}
+
+// NumberedBlocks is Blocks with line-number provenance: each emitted Block
+// carries the archive line number of its first line.
+func NumberedBlocks(r io.Reader, blockSize int, emit func(Block) bool) error {
 	if blockSize < 1 {
 		blockSize = DefaultBlockSize
 	}
 	var carry []byte
+	line := 1
 	buf := make([]byte, blockSize)
 	for {
 		n, err := r.Read(buf)
@@ -46,13 +68,15 @@ func Blocks(r io.Reader, blockSize int, emit func(block []byte) bool) error {
 				block = append(block, carry...)
 				block = append(block, data[:i+1]...)
 				carry = append(carry[:0], data[i+1:]...)
-				if !emit(block) {
+				first := line
+				line += bytes.Count(block, []byte("\n"))
+				if !emit(Block{Data: block, FirstLine: first}) {
 					return nil
 				}
 			} else {
 				carry = append(carry, data...)
 			}
-			if len(carry) > MaxLineBytes {
+			if len(carry) > parse.AbsMaxLineBytes {
 				return bufio.ErrTooLong
 			}
 		}
@@ -60,7 +84,7 @@ func Blocks(r io.Reader, blockSize int, emit func(block []byte) bool) error {
 		case nil:
 		case io.EOF:
 			if len(carry) > 0 {
-				emit(append([]byte(nil), carry...))
+				emit(Block{Data: append([]byte(nil), carry...), FirstLine: line})
 			}
 			return nil
 		default:
@@ -181,6 +205,16 @@ func Ordered[In, Out any](workers int, produce func(emit func(In) bool) error, a
 func OrderedBlocks[Out any](r io.Reader, blockSize, workers int, apply func(block []byte) (Out, error), consume func(Out) error) error {
 	return Ordered(workers,
 		func(emit func([]byte) bool) error { return Blocks(r, blockSize, emit) },
+		apply, consume)
+}
+
+// OrderedNumberedBlocks is OrderedBlocks with line-number provenance: apply
+// receives each block together with the archive line number of its first
+// line, so per-block malformed-line accounting can match a sequential scan
+// exactly.
+func OrderedNumberedBlocks[Out any](r io.Reader, blockSize, workers int, apply func(b Block) (Out, error), consume func(Out) error) error {
+	return Ordered(workers,
+		func(emit func(Block) bool) error { return NumberedBlocks(r, blockSize, emit) },
 		apply, consume)
 }
 

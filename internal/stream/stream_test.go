@@ -9,6 +9,8 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+
+	"logdiver/internal/parse"
 )
 
 // iotaReader yields its payload in reads of varying sizes to exercise short
@@ -82,11 +84,57 @@ func TestBlocksFinalUnterminatedLine(t *testing.T) {
 	}
 }
 
-func TestBlocksTooLongLine(t *testing.T) {
+func TestBlocksOversizedLinePassesThrough(t *testing.T) {
+	// A line beyond the per-line acceptance cap is no longer fatal at the
+	// block layer: it travels through whole so the parsers can account it
+	// as oversize-malformed (lenient) or fail typed (strict).
 	long := strings.Repeat("x", MaxLineBytes+2)
-	err := Blocks(strings.NewReader(long), 1<<16, func(b []byte) bool { return true })
+	input := "before\n" + long + "\nafter\n"
+	var all []byte
+	err := Blocks(strings.NewReader(input), 1<<16, func(b []byte) bool {
+		all = append(all, b...)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(all) != input {
+		t.Fatalf("oversized line mangled in transit: got %d bytes, want %d", len(all), len(input))
+	}
+}
+
+func TestBlocksTooLongLine(t *testing.T) {
+	// Beyond the absolute cap the input is not line-structured; both the
+	// block reader and the sequential parse.LineReader abort.
+	defer func(old int) { parse.AbsMaxLineBytes = old }(parse.AbsMaxLineBytes)
+	parse.AbsMaxLineBytes = 1 << 12
+	long := strings.Repeat("x", parse.AbsMaxLineBytes+2)
+	err := Blocks(strings.NewReader(long), 1<<8, func(b []byte) bool { return true })
 	if !errors.Is(err, bufio.ErrTooLong) {
 		t.Fatalf("got %v, want bufio.ErrTooLong", err)
+	}
+}
+
+func TestNumberedBlocksFirstLine(t *testing.T) {
+	// 40 lines, block size small enough to force several blocks; the
+	// FirstLine of each block must equal 1 + lines in all prior blocks.
+	var input strings.Builder
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&input, "line number %d with some padding\n", i)
+	}
+	wantFirst := 1
+	err := NumberedBlocks(strings.NewReader(input.String()), 100, func(b Block) bool {
+		if b.FirstLine != wantFirst {
+			t.Fatalf("block FirstLine = %d, want %d", b.FirstLine, wantFirst)
+		}
+		wantFirst += bytes.Count(b.Data, []byte("\n"))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantFirst != 41 {
+		t.Fatalf("blocks covered %d lines, want 40", wantFirst-1)
 	}
 }
 

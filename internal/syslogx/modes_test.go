@@ -1,0 +1,111 @@
+package syslogx
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"logdiver/internal/parse"
+)
+
+// Error-path cases shared by the strict and lenient mode tests. Every entry
+// is one malformed syslog line plus the Kind the parsers must report.
+var syslogErrorCases = []struct {
+	name string
+	line string
+	kind parse.Kind
+}{
+	{"truncated record", "2013-04-03T12:34:56.123456-05:00", parse.KindStructure},
+	{"missing host", "2013-04-03T12:34:56.123456-05:00 ", parse.KindStructure},
+	{"missing tag separator", "2013-04-03T12:34:56.123456-05:00 host no colon here", parse.KindStructure},
+	{"bad timestamp", "99/99/99 host kernel: msg", parse.KindTimestamp},
+	{"oversized line", "2013-04-03T12:34:56.123456-05:00 host kernel: " + strings.Repeat("x", parse.MaxLineBytes), parse.KindOversize},
+	{"invalid utf8", "2013-04-03T12:34:56.123456-05:00 host kernel: \xff\xfe", parse.KindEncoding},
+	{"nul byte", "2013-04-03T12:34:56.123456-05:00 host kernel: a\x00b", parse.KindEncoding},
+}
+
+const syslogGoodLine = "2013-04-03T12:34:57.000000-05:00 c0-0c0s0n1 kernel: machine check"
+
+// TestScannerModesErrorPaths drives every malformed-line class through the
+// sequential scanner in both modes: strict fails at the bad line with a
+// typed, line-numbered error; lenient skips it, still yields the well-formed
+// line, and accounts the failure under the right kind with provenance.
+func TestScannerModesErrorPaths(t *testing.T) {
+	for _, tc := range syslogErrorCases {
+		t.Run(tc.name, func(t *testing.T) {
+			input := tc.line + "\n" + syslogGoodLine + "\n"
+
+			strict := NewScannerMode(strings.NewReader(input), parse.Strict)
+			if strict.Scan() {
+				t.Fatal("strict mode scanned past the malformed line")
+			}
+			var perr *parse.Error
+			if !errors.As(strict.Err(), &perr) {
+				t.Fatalf("strict error %v is not a *parse.Error", strict.Err())
+			}
+			if perr.Kind != tc.kind || perr.Line != 1 {
+				t.Errorf("strict error kind=%v line=%d, want kind=%v line=1", perr.Kind, perr.Line, tc.kind)
+			}
+
+			lenient := NewScannerMode(strings.NewReader(input), parse.Lenient)
+			var lines int
+			for lenient.Scan() {
+				lines++
+			}
+			if err := lenient.Err(); err != nil {
+				t.Fatalf("lenient mode failed: %v", err)
+			}
+			if lines != 1 {
+				t.Errorf("lenient mode yielded %d lines, want 1", lines)
+			}
+			st := lenient.Stats()
+			if got := st.Kinds.Count(tc.kind); got != 1 {
+				t.Errorf("kind %v counted %d times, want 1", tc.kind, got)
+			}
+			samples := st.Samples.All()
+			if len(samples) != 1 || samples[0].Line != 1 || samples[0].Kind != tc.kind {
+				t.Errorf("sample provenance %+v, want line 1 kind %v", samples, tc.kind)
+			}
+		})
+	}
+}
+
+// TestParseBlockModeMatchesScanner pins the parallel block parser to the
+// sequential scanner for every error class in both modes.
+func TestParseBlockModeMatchesScanner(t *testing.T) {
+	for _, tc := range syslogErrorCases {
+		t.Run(tc.name, func(t *testing.T) {
+			input := syslogGoodLine + "\n" + tc.line + "\n"
+
+			lines, nums, stats, err := ParseBlockMode([]byte(input), 1, parse.Lenient)
+			if err != nil {
+				t.Fatalf("lenient block failed: %v", err)
+			}
+			if len(lines) != 1 || len(nums) != 1 || nums[0] != 1 {
+				t.Errorf("lenient block: %d lines, nums %v", len(lines), nums)
+			}
+			if stats.Kinds.Count(tc.kind) != 1 {
+				t.Errorf("kind %v counted %d times, want 1", tc.kind, stats.Kinds.Count(tc.kind))
+			}
+			samples := stats.Samples.All()
+			if len(samples) != 1 || samples[0].Line != 2 {
+				t.Errorf("block sample %+v, want line 2", samples)
+			}
+
+			_, _, _, err = ParseBlockMode([]byte(input), 1, parse.Strict)
+			var perr *parse.Error
+			if !errors.As(err, &perr) {
+				t.Fatalf("strict block error %v is not a *parse.Error", err)
+			}
+			if perr.Kind != tc.kind || perr.Line != 2 {
+				t.Errorf("strict block error kind=%v line=%d, want kind=%v line=2", perr.Kind, perr.Line, tc.kind)
+			}
+
+			// A nonzero block offset shifts reported line numbers.
+			_, _, _, err = ParseBlockMode([]byte(input), 50, parse.Strict)
+			if !errors.As(err, &perr) || perr.Line != 51 {
+				t.Errorf("offset block error %v, want line 51", err)
+			}
+		})
+	}
+}

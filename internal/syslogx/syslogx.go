@@ -11,11 +11,11 @@ package syslogx
 
 import (
 	"bufio"
-	"fmt"
 	"io"
 	"strings"
 	"time"
 
+	"logdiver/internal/parse"
 	"logdiver/internal/stream"
 )
 
@@ -47,35 +47,26 @@ func Format(l Line) string {
 	return b.String()
 }
 
-// ParseError describes a malformed syslog line.
-type ParseError struct {
-	LineNo int // 1-based, 0 when unknown
-	Line   string
-	Reason string
-}
+// ParseError is the typed malformed-line error shared across the format
+// parsers; see parse.Error for the field semantics (Kind, Line, Archive).
+type ParseError = parse.Error
 
-// Error implements the error interface.
-func (e *ParseError) Error() string {
-	if e.LineNo > 0 {
-		return fmt.Sprintf("syslog line %d: %s: %.80q", e.LineNo, e.Reason, e.Line)
-	}
-	return fmt.Sprintf("syslog: %s: %.80q", e.Reason, e.Line)
-}
-
-// Parse parses one wire-format line.
+// Parse parses one wire-format line. Errors are *parse.Error values
+// carrying a Kind (timestamp, structure, ...) for the per-kind malformed
+// accounting of the ingestion pipeline.
 func Parse(s string) (Line, error) {
 	var l Line
 	ts, rest, ok := strings.Cut(s, " ")
 	if !ok {
-		return l, &ParseError{Line: s, Reason: "missing timestamp field"}
+		return l, parse.Errorf(parse.KindStructure, s, "missing timestamp field")
 	}
 	t, err := time.Parse(timeLayout, ts)
 	if err != nil {
-		return l, &ParseError{Line: s, Reason: "bad timestamp: " + err.Error()}
+		return l, parse.Errorf(parse.KindTimestamp, s, "bad timestamp: %s", err.Error())
 	}
 	host, rest, ok := strings.Cut(rest, " ")
 	if !ok || host == "" {
-		return l, &ParseError{Line: s, Reason: "missing host field"}
+		return l, parse.Errorf(parse.KindStructure, s, "missing host field")
 	}
 	tag, msg, ok := strings.Cut(rest, ": ")
 	if !ok {
@@ -83,17 +74,37 @@ func Parse(s string) (Line, error) {
 		if tagOnly, okColon := strings.CutSuffix(rest, ":"); okColon && !strings.Contains(tagOnly, " ") {
 			tag, msg = tagOnly, ""
 		} else {
-			return l, &ParseError{Line: s, Reason: "missing tag separator"}
+			return l, parse.Errorf(parse.KindStructure, s, "missing tag separator")
 		}
 	}
 	if tag == "" || strings.Contains(tag, " ") {
-		return l, &ParseError{Line: s, Reason: "malformed tag"}
+		return l, parse.Errorf(parse.KindStructure, s, "malformed tag")
 	}
 	l.Time = t
 	l.Host = host
 	l.Tag = tag
 	l.Message = msg
 	return l, nil
+}
+
+// CheckLine is the single authoritative per-line acceptance function of the
+// syslog format, shared by the sequential Scanner, the parallel block
+// parser and the robustness reconciler: blank lines are skipped silently
+// (skip == true), lines failing the shared encoding/oversize checks or the
+// format parse return a typed *parse.Error, and everything else yields the
+// parsed Line.
+func CheckLine(text string) (l Line, skip bool, perr *parse.Error) {
+	if strings.TrimSpace(text) == "" {
+		return Line{}, true, nil
+	}
+	if e := parse.CheckLine(text); e != nil {
+		return Line{}, false, e
+	}
+	l, err := Parse(text)
+	if err != nil {
+		return Line{}, false, err.(*parse.Error)
+	}
+	return l, false, nil
 }
 
 // Writer emits lines in wire format.
@@ -157,73 +168,125 @@ func (w *Writer) Flush() error {
 	return w.err
 }
 
-// Scanner streams lines from a reader, tolerating (and counting) malformed
-// lines rather than aborting, as real log archives always contain noise.
+// Scanner streams lines from a reader. In lenient mode (the NewScanner
+// default) malformed lines are skipped and accounted — per-kind counters
+// plus first-N provenance samples — as real log archives always contain
+// noise. In strict mode the scan stops at the first malformed line and Err
+// returns the typed *parse.Error with its line number.
 type Scanner struct {
-	sc        *bufio.Scanner
-	line      Line
-	lineNo    int
-	malformed int
-	err       error
+	lr     *parse.LineReader
+	mode   parse.Mode
+	line   Line
+	lineNo int
+	stats  parse.LineStats
+	err    error
 }
 
-// NewScanner wraps r.
+// NewScanner wraps r in lenient mode.
 func NewScanner(r io.Reader) *Scanner {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	return &Scanner{sc: sc}
+	return NewScannerMode(r, parse.Lenient)
 }
 
-// Scan advances to the next well-formed line, skipping malformed ones.
-// It returns false at end of input or on a read error.
+// NewScannerMode wraps r with an explicit malformed-line policy.
+func NewScannerMode(r io.Reader, mode parse.Mode) *Scanner {
+	return &Scanner{lr: parse.NewLineReader(r), mode: mode}
+}
+
+// Scan advances to the next well-formed line. It returns false at end of
+// input, on a read error, or (strict mode) at the first malformed line.
 func (s *Scanner) Scan() bool {
-	for s.sc.Scan() {
-		s.lineNo++
-		text := s.sc.Text()
-		if strings.TrimSpace(text) == "" {
+	if s.err != nil {
+		return false
+	}
+	for {
+		text, no, ok := s.lr.Next()
+		if !ok {
+			s.err = s.lr.Err()
+			return false
+		}
+		l, skip, perr := CheckLine(text)
+		if skip {
 			continue
 		}
-		l, err := Parse(text)
-		if err != nil {
-			s.malformed++
+		if perr != nil {
+			perr.Line = no
+			if s.mode == parse.Strict {
+				s.err = perr
+				return false
+			}
+			s.stats.Record(perr)
 			continue
 		}
-		s.line = l
+		s.line, s.lineNo = l, no
 		return true
 	}
-	s.err = s.sc.Err()
-	return false
 }
 
 // Line returns the most recently scanned line.
 func (s *Scanner) Line() Line { return s.line }
 
+// LineNo returns the 1-based archive line number of the most recently
+// scanned line.
+func (s *Scanner) LineNo() int { return s.lineNo }
+
 // ParseBlock parses every line of a newline-separated block, applying the
-// exact per-line semantics of Scanner: blank (whitespace-only) lines are
-// skipped silently and unparseable lines are counted as malformed rather
-// than failing the block. It is the unit of work of the parallel ingestion
-// path — Parse is a pure function, so blocks can be parsed on any number of
-// goroutines concurrently; concatenating the results in block order yields
-// exactly the sequence a sequential Scanner would produce.
+// exact per-line semantics of a lenient Scanner: blank (whitespace-only)
+// lines are skipped silently and unparseable lines are counted as
+// malformed rather than failing the block.
 func ParseBlock(block []byte) (lines []Line, malformed int) {
+	lines, _, stats, _ := ParseBlockMode(block, 1, parse.Lenient)
+	return lines, stats.Malformed()
+}
+
+// ParseBlockMode is the unit of work of the parallel ingestion path: it
+// parses every line of a block whose first line is archive line firstLine,
+// with the exact per-line semantics of a sequential Scanner in the same
+// mode. nums carries the archive line number of each returned Line (needed
+// by the apsys layer to report message-level provenance). In lenient mode
+// malformed lines are accounted in stats (with archive line numbers, so
+// concatenating per-block stats in block order reproduces a sequential
+// scan); in strict mode the first malformed line fails the block with its
+// typed error. CheckLine is pure, so blocks parse safely on concurrent
+// goroutines.
+func ParseBlockMode(block []byte, firstLine int, mode parse.Mode) (lines []Line, nums []int, stats parse.LineStats, err error) {
 	lines = make([]Line, 0, len(block)/64)
+	nums = make([]int, 0, len(block)/64)
+	no := firstLine - 1
+	var failed *parse.Error
 	stream.ForEachLine(block, func(raw []byte) {
-		text := string(raw)
-		if strings.TrimSpace(text) == "" {
+		no++
+		if failed != nil {
 			return
 		}
-		l, err := Parse(text)
-		if err != nil {
-			malformed++
+		l, skip, perr := CheckLine(string(raw))
+		if skip {
+			return
+		}
+		if perr != nil {
+			perr.Line = no
+			if mode == parse.Strict {
+				failed = perr
+				return
+			}
+			stats.Record(perr)
 			return
 		}
 		lines = append(lines, l)
+		nums = append(nums, no)
 	})
-	return lines, malformed
+	if failed != nil {
+		return nil, nil, parse.LineStats{}, failed
+	}
+	return lines, nums, stats, nil
 }
 
-// Malformed returns the number of lines skipped as unparseable.
-func (s *Scanner) Malformed() int { return s.malformed }
+// Malformed returns the number of lines skipped as unparseable (lenient
+// mode).
+func (s *Scanner) Malformed() int { return s.stats.Malformed() }
 
-// Err returns the first read error encountered, if any.
+// Stats returns the malformed-line accounting of the scan so far.
+func (s *Scanner) Stats() parse.LineStats { return s.stats }
+
+// Err returns the first read error encountered, if any; in strict mode the
+// first malformed line surfaces here as a *parse.Error.
 func (s *Scanner) Err() error { return s.err }

@@ -86,9 +86,13 @@ func TestParseErrorMessage(t *testing.T) {
 	if !strings.Contains(pe.Error(), "garbage") {
 		t.Errorf("error %q does not include offending line", pe.Error())
 	}
-	pe.LineNo = 7
+	pe.Line = 7
 	if !strings.Contains(pe.Error(), "line 7") {
 		t.Errorf("error %q does not include line number", pe.Error())
+	}
+	pe.Archive = "syslog"
+	if !strings.HasPrefix(pe.Error(), "syslog: ") {
+		t.Errorf("error %q does not lead with the archive name", pe.Error())
 	}
 }
 

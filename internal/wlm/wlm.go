@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"logdiver/internal/parse"
 	"logdiver/internal/stream"
 )
 
@@ -82,22 +83,23 @@ func FormatRecord(r Record) string {
 
 // ParseRecord parses one accounting line. The location loc is applied to the
 // record timestamp (accounting stamps carry no zone); pass time.UTC when the
-// archive was generated in UTC.
+// archive was generated in UTC. Errors are *parse.Error values carrying a
+// Kind for the per-kind malformed accounting of the ingestion pipeline.
 func ParseRecord(s string, loc *time.Location) (Record, error) {
 	var r Record
 	parts := strings.SplitN(s, ";", 4)
 	if len(parts) != 4 {
-		return r, fmt.Errorf("wlm: record has %d fields, want 4: %.80q", len(parts), s)
+		return r, parse.Errorf(parse.KindStructure, s, "wlm: record has %d fields, want 4", len(parts))
 	}
 	t, err := time.ParseInLocation(stampLayout, parts[0], loc)
 	if err != nil {
-		return r, fmt.Errorf("wlm: bad timestamp: %w", err)
+		return r, parse.Errorf(parse.KindTimestamp, s, "wlm: bad timestamp: %s", err.Error())
 	}
 	if len(parts[1]) != 1 || !EventType(parts[1][0]).Valid() {
-		return r, fmt.Errorf("wlm: bad record type %q", parts[1])
+		return r, parse.Errorf(parse.KindStructure, s, "wlm: bad record type %q", parts[1])
 	}
 	if parts[2] == "" {
-		return r, fmt.Errorf("wlm: empty job id: %.80q", s)
+		return r, parse.Errorf(parse.KindStructure, s, "wlm: empty job id")
 	}
 	r.Time = t
 	r.Type = EventType(parts[1][0])
@@ -107,12 +109,32 @@ func ParseRecord(s string, loc *time.Location) (Record, error) {
 		for _, kv := range strings.Fields(parts[3]) {
 			k, v, ok := strings.Cut(kv, "=")
 			if !ok {
-				return r, fmt.Errorf("wlm: malformed field %q", kv)
+				return r, parse.Errorf(parse.KindField, s, "wlm: malformed field %q", kv)
 			}
 			r.Fields[k] = v
 		}
 	}
 	return r, nil
+}
+
+// CheckLine is the single authoritative per-line acceptance function of the
+// accounting format, shared by the sequential Scanner, the parallel block
+// parser and the robustness reconciler: blank lines are skipped silently
+// (skip == true), lines failing the shared encoding/oversize checks or
+// ParseRecord return a typed *parse.Error, and everything else yields the
+// parsed Record.
+func CheckLine(text string, loc *time.Location) (r Record, skip bool, perr *parse.Error) {
+	if strings.TrimSpace(text) == "" {
+		return Record{}, true, nil
+	}
+	if e := parse.CheckLine(text); e != nil {
+		return Record{}, false, e
+	}
+	r, err := ParseRecord(text, loc)
+	if err != nil {
+		return Record{}, false, err.(*parse.Error)
+	}
+	return r, false, nil
 }
 
 // Job is the assembled view of one batch job.
@@ -345,76 +367,128 @@ func (w *Writer) Flush() error {
 	return w.err
 }
 
-// Scanner streams records from an accounting archive, skipping malformed
-// lines.
+// Scanner streams records from an accounting archive. In lenient mode (the
+// NewScanner default) malformed lines are skipped and accounted — per-kind
+// counters plus first-N provenance samples; in strict mode the scan stops
+// at the first malformed line and Err returns the typed *parse.Error with
+// its line number.
 type Scanner struct {
-	sc        *bufio.Scanner
-	loc       *time.Location
-	rec       Record
-	malformed int
-	err       error
+	lr     *parse.LineReader
+	loc    *time.Location
+	mode   parse.Mode
+	rec    Record
+	lineNo int
+	stats  parse.LineStats
+	err    error
 }
 
-// NewScanner wraps r; timestamps are interpreted in loc (UTC if nil).
+// NewScanner wraps r in lenient mode; timestamps are interpreted in loc
+// (UTC if nil).
 func NewScanner(r io.Reader, loc *time.Location) *Scanner {
+	return NewScannerMode(r, loc, parse.Lenient)
+}
+
+// NewScannerMode wraps r with an explicit malformed-line policy.
+func NewScannerMode(r io.Reader, loc *time.Location, mode parse.Mode) *Scanner {
 	if loc == nil {
 		loc = time.UTC
 	}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	return &Scanner{sc: sc, loc: loc}
+	return &Scanner{lr: parse.NewLineReader(r), loc: loc, mode: mode}
 }
 
-// Scan advances to the next well-formed record.
+// Scan advances to the next well-formed record. It returns false at end of
+// input, on a read error, or (strict mode) at the first malformed line.
 func (s *Scanner) Scan() bool {
-	for s.sc.Scan() {
-		text := s.sc.Text()
-		if strings.TrimSpace(text) == "" {
+	if s.err != nil {
+		return false
+	}
+	for {
+		text, no, ok := s.lr.Next()
+		if !ok {
+			s.err = s.lr.Err()
+			return false
+		}
+		rec, skip, perr := CheckLine(text, s.loc)
+		if skip {
 			continue
 		}
-		rec, err := ParseRecord(text, s.loc)
-		if err != nil {
-			s.malformed++
+		if perr != nil {
+			perr.Line = no
+			if s.mode == parse.Strict {
+				s.err = perr
+				return false
+			}
+			s.stats.Record(perr)
 			continue
 		}
-		s.rec = rec
+		s.rec, s.lineNo = rec, no
 		return true
 	}
-	s.err = s.sc.Err()
-	return false
 }
 
 // Record returns the most recently scanned record.
 func (s *Scanner) Record() Record { return s.rec }
 
+// LineNo returns the 1-based archive line number of the most recently
+// scanned record.
+func (s *Scanner) LineNo() int { return s.lineNo }
+
 // ParseBlock parses every line of a newline-separated accounting block with
-// the exact per-line semantics of Scanner: blank lines are skipped silently,
-// unparseable lines are counted as malformed. ParseRecord is a pure
-// function, so blocks parse safely on concurrent goroutines; concatenating
-// results in block order reproduces a sequential scan. Timestamps are
-// interpreted in loc (UTC if nil).
+// the exact per-line semantics of a lenient Scanner: blank lines are
+// skipped silently, unparseable lines are counted as malformed. Timestamps
+// are interpreted in loc (UTC if nil).
 func ParseBlock(block []byte, loc *time.Location) (recs []Record, malformed int) {
+	recs, stats, _ := ParseBlockMode(block, loc, 1, parse.Lenient)
+	return recs, stats.Malformed()
+}
+
+// ParseBlockMode is the unit of work of the parallel ingestion path: it
+// parses a block whose first line is archive line firstLine with the exact
+// per-line semantics of a sequential Scanner in the same mode. In lenient
+// mode malformed lines are accounted in stats with their archive line
+// numbers; in strict mode the first malformed line fails the block with its
+// typed error. CheckLine is pure, so blocks parse safely on concurrent
+// goroutines; concatenating results in block order reproduces a sequential
+// scan.
+func ParseBlockMode(block []byte, loc *time.Location, firstLine int, mode parse.Mode) (recs []Record, stats parse.LineStats, err error) {
 	if loc == nil {
 		loc = time.UTC
 	}
 	recs = make([]Record, 0, len(block)/96)
+	no := firstLine - 1
+	var failed *parse.Error
 	stream.ForEachLine(block, func(raw []byte) {
-		text := string(raw)
-		if strings.TrimSpace(text) == "" {
+		no++
+		if failed != nil {
 			return
 		}
-		rec, err := ParseRecord(text, loc)
-		if err != nil {
-			malformed++
+		rec, skip, perr := CheckLine(string(raw), loc)
+		if skip {
+			return
+		}
+		if perr != nil {
+			perr.Line = no
+			if mode == parse.Strict {
+				failed = perr
+				return
+			}
+			stats.Record(perr)
 			return
 		}
 		recs = append(recs, rec)
 	})
-	return recs, malformed
+	if failed != nil {
+		return nil, parse.LineStats{}, failed
+	}
+	return recs, stats, nil
 }
 
-// Malformed returns the number of skipped lines.
-func (s *Scanner) Malformed() int { return s.malformed }
+// Malformed returns the number of skipped lines (lenient mode).
+func (s *Scanner) Malformed() int { return s.stats.Malformed() }
 
-// Err returns the first read error, if any.
+// Stats returns the malformed-line accounting of the scan so far.
+func (s *Scanner) Stats() parse.LineStats { return s.stats }
+
+// Err returns the first read error, if any; in strict mode the first
+// malformed line surfaces here as a *parse.Error.
 func (s *Scanner) Err() error { return s.err }

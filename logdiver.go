@@ -38,6 +38,7 @@ import (
 	"logdiver/internal/gen"
 	"logdiver/internal/machine"
 	"logdiver/internal/metrics"
+	"logdiver/internal/parse"
 	"logdiver/internal/report"
 	"logdiver/internal/taxonomy"
 )
@@ -69,6 +70,11 @@ type (
 	Result = core.Result
 	// ParseStats reports archive hygiene.
 	ParseStats = core.ParseStats
+	// ParseMode selects the malformed-input policy (Options.ParseMode).
+	ParseMode = parse.Mode
+	// ParseError is the typed malformed-line error strict parsing surfaces,
+	// carrying the archive name, line number and failure kind.
+	ParseError = parse.Error
 
 	// AttributedRun is an application run with its outcome attribution.
 	AttributedRun = correlate.AttributedRun
@@ -109,6 +115,18 @@ const (
 	OutcomeWalltime      = correlate.OutcomeWalltime
 	OutcomeSystemFailure = correlate.OutcomeSystemFailure
 )
+
+// Parse modes. ParseLenient (the Options zero value) skips malformed lines
+// while accounting them in ParseStats; ParseStrict fails Analyze on the
+// first malformed line with a *ParseError naming archive and line.
+const (
+	ParseLenient = parse.Lenient
+	ParseStrict  = parse.Strict
+)
+
+// ParseModeFromString parses the -parse-mode flag vocabulary ("lenient",
+// "strict"; the empty string means lenient).
+func ParseModeFromString(s string) (ParseMode, error) { return parse.ModeFromString(s) }
 
 // BlueWaters returns the measured system's machine configuration: 288
 // cabinets, 22,636 usable XE nodes and 4,224 XK hybrid nodes.
