@@ -9,7 +9,9 @@
 // speedup over the serial path; below the threshold the comparison is
 // recorded but not enforced, because a speedup cannot materialize without
 // cores (single-core parallel ingestion degrades to the sequential path by
-// design).
+// design). With -speedup-gate=false the report is still written but the
+// serial/parallel pair is neither required nor compared — for benchmark
+// suites (like the serving benchmarks) that have no such pair.
 //
 // Usage:
 //
@@ -69,10 +71,11 @@ func main() {
 
 func realMain() error {
 	var (
-		in         = flag.String("in", "-", "benchmark output file (- for stdin)")
-		out        = flag.String("out", "BENCH_ingest.json", "JSON report path (- for stdout)")
-		minSpeedup = flag.Float64("min-speedup", 1.0, "required parallel-over-serial speedup when enforcing")
-		minProcs   = flag.Int("min-procs", 4, "enforce the speedup only at GOMAXPROCS >= this")
+		in          = flag.String("in", "-", "benchmark output file (- for stdin)")
+		out         = flag.String("out", "BENCH_ingest.json", "JSON report path (- for stdout)")
+		minSpeedup  = flag.Float64("min-speedup", 1.0, "required parallel-over-serial speedup when enforcing")
+		minProcs    = flag.Int("min-procs", 4, "enforce the speedup only at GOMAXPROCS >= this")
+		speedupGate = flag.Bool("speedup-gate", true, "require BenchmarkAnalyze/serial vs /parallel and enforce the speedup; disable for benchmark suites without that pair")
 	)
 	flag.Parse()
 
@@ -108,7 +111,7 @@ func realMain() error {
 	if rep.Serial != nil && rep.Parallel != nil && rep.Parallel.NsPerOp > 0 {
 		rep.Speedup = rep.Serial.NsPerOp / rep.Parallel.NsPerOp
 	}
-	rep.Enforced = rep.Procs >= *minProcs
+	rep.Enforced = *speedupGate && rep.Procs >= *minProcs
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -121,6 +124,11 @@ func realMain() error {
 		return err
 	}
 
+	if !*speedupGate {
+		fmt.Fprintf(os.Stderr, "benchgate: recorded %d benchmarks at GOMAXPROCS=%d, speedup gate disabled\n",
+			len(sums), rep.Procs)
+		return nil
+	}
 	if rep.Serial == nil || rep.Parallel == nil {
 		return fmt.Errorf("missing BenchmarkAnalyze/serial or /parallel in input")
 	}

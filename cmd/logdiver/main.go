@@ -12,7 +12,9 @@
 //	logdiver lint-rules [-rules site-rules.txt] [-json]
 //	logdiver mutate -in sys.log -out sys.corrupt.log [-manifest m.json] \
 //	    [-seed N] [-budget F] [-ops truncate,encoding,...] [-max-per-op N]
-//	logdiver generate -days 30 -out ./archive [-parallelism N]   (alias of tracegen)
+//	logdiver generate -days 30 -out ./archive [-parallelism N] \
+//	    [-machine bluewaters|small] [-start YYYY-MM-DD] [-seed N]
+//	logdiver version
 //
 // lint-rules runs the internal/rulecheck semantic linter over a classifier
 // rule file (or over the built-in taxonomy when -rules is omitted) and
@@ -34,9 +36,17 @@
 // encoding, fielddrop, oversize) and writes a JSON manifest of every
 // injected mutation.
 //
+// generate writes the three raw archives plus ground truth. -machine small
+// rescales both the topology and the workload so a few days analyze in
+// seconds; -start and -seed let successive invocations produce disjoint
+// production windows, which the serving smoke tests append to a live
+// logdiverd data directory.
+//
 // The analyze subcommand prints the experiment tables (E1-E17, plus the
-// A1-A3 ablations when -truth is given) to stdout. coalesce prints the
+// A1-A3 ablations when -truth is given) to stdout, and an archive-hygiene
+// summary (per-kind malformed-line counts) to stderr. coalesce prints the
 // machine-level error events; avail reconstructs node availability.
+// version prints the build's module version, VCS revision and Go version.
 package main
 
 import (
@@ -58,6 +68,7 @@ import (
 	"logdiver/internal/rulecheck"
 	"logdiver/internal/syslogx"
 	"logdiver/internal/taxonomy"
+	"logdiver/internal/version"
 )
 
 func main() {
@@ -72,6 +83,9 @@ func run(args []string) error {
 		return fmt.Errorf("usage: logdiver <analyze|generate> [flags]")
 	}
 	switch args[0] {
+	case "version", "-version", "--version":
+		fmt.Println(version.Get())
+		return nil
 	case "analyze":
 		return analyze(args[1:])
 	case "generate":
@@ -193,6 +207,9 @@ func analyze(args []string) error {
 	fmt.Fprintf(os.Stderr, "parsed: %d jobs, %d runs, %d events (malformed lines skipped: %d accounting, %d apsys, %d syslog)\n",
 		len(res.Jobs), len(res.Runs), len(res.Events),
 		res.Parse.AccountingMalformed, res.Parse.ApsysMalformed, res.Parse.SyslogMalformed)
+	for _, h := range res.Parse.Hygiene() {
+		fmt.Fprintf(os.Stderr, "  %s\n", h)
+	}
 	for _, s := range res.Parse.SyslogDetail.Samples.All() {
 		fmt.Fprintf(os.Stderr, "  malformed: %s\n", s)
 	}
@@ -529,17 +546,34 @@ func opNames() string {
 func generate(args []string) error {
 	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
 	var (
-		days = fs.Int("days", 30, "production days to synthesize")
-		seed = fs.Int64("seed", 1, "random seed")
-		out  = fs.String("out", "archive", "output directory")
-		par  = fs.Int("parallelism", 0, "log-emission worker count (0 = GOMAXPROCS, 1 = sequential)")
+		days    = fs.Int("days", 30, "production days to synthesize")
+		seed    = fs.Int64("seed", 1, "random seed")
+		out     = fs.String("out", "archive", "output directory")
+		par     = fs.Int("parallelism", 0, "log-emission worker count (0 = GOMAXPROCS, 1 = sequential)")
+		machine = fs.String("machine", "bluewaters", "machine model: bluewaters or small (small rescales the workload too)")
+		start   = fs.String("start", "", "first production day (YYYY-MM-DD; default 2013-04-01)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := logdiver.ScaledGeneratorConfig(*days)
+	var cfg logdiver.GeneratorConfig
+	switch *machine {
+	case "bluewaters":
+		cfg = logdiver.ScaledGeneratorConfig(*days)
+	case "small":
+		cfg = logdiver.SmallGeneratorConfig(*days)
+	default:
+		return fmt.Errorf("unknown machine %q", *machine)
+	}
 	cfg.Seed = *seed
 	cfg.Parallelism = *par
+	if *start != "" {
+		at, err := time.Parse("2006-01-02", *start)
+		if err != nil {
+			return fmt.Errorf("generate: bad -start: %w", err)
+		}
+		cfg.Start = at
+	}
 	ds, err := logdiver.Generate(cfg)
 	if err != nil {
 		return err

@@ -1,0 +1,224 @@
+// Command logdiverd is the online serving daemon: it tails the growing log
+// archives of a data directory, keeps an incrementally updated analysis of
+// every application run, and serves the study's views over HTTP.
+//
+// Usage:
+//
+//	logdiverd -data-dir ./archive [-listen :8080] [-poll-interval 2s]
+//	    [-machine bluewaters|small] [-parallelism N]
+//	    [-parse-mode lenient|strict] [-rules site-rules.txt] [-tz UTC]
+//	    [-request-timeout 10s]
+//	logdiverd -version
+//
+// The daemon polls -data-dir every -poll-interval for growth of
+// accounting.log, apsys.log and syslog.log (the names `logdiver generate`
+// writes; absent files are treated as empty until they appear). Each poll
+// that finds new lines is appended to the incremental pipeline, the
+// affected time window is re-attributed, and a new immutable snapshot is
+// published under the next epoch. Queries are answered from the latest
+// snapshot without locking; every response carries its epoch.
+//
+// Endpoints: /v1/health, /v1/outcomes, /v1/scaling?class=xe|xk, /v1/mtti,
+// /v1/categories, /v1/runs/{apid}, and Prometheus text metrics at /metrics.
+//
+// SIGINT/SIGTERM stop the poll loop and drain in-flight requests before
+// exit. Logs are structured JSON on stderr.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"logdiver"
+	"logdiver/internal/rulecheck"
+	"logdiver/internal/serve"
+	"logdiver/internal/store"
+	"logdiver/internal/taxonomy"
+	"logdiver/internal/version"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "logdiverd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable daemon body. onListen, when non-nil, receives the
+// bound listener address before serving begins (tests use it to learn the
+// ephemeral port).
+func run(args []string, onListen func(addr string)) error {
+	fs := flag.NewFlagSet("logdiverd", flag.ContinueOnError)
+	var (
+		listen      = fs.String("listen", ":8080", "HTTP listen address")
+		dataDir     = fs.String("data-dir", "", "directory with accounting.log, apsys.log, syslog.log (required)")
+		poll        = fs.Duration("poll-interval", 2*time.Second, "archive poll interval")
+		machineName = fs.String("machine", "bluewaters", "machine model: bluewaters or small")
+		par         = fs.Int("parallelism", 0, "ingestion/attribution worker count (0 = GOMAXPROCS)")
+		mode        = fs.String("parse-mode", "lenient", "malformed-input policy: lenient or strict")
+		rules       = fs.String("rules", "", "optional classifier rule file (replaces the built-in taxonomy rules)")
+		validate    = fs.Bool("validate-rules", true, "lint -rules files and reject rule sets with error-severity findings")
+		timezone    = fs.String("tz", "UTC", "accounting timestamp zone")
+		reqTimeout  = fs.Duration("request-timeout", serve.DefaultRequestTimeout, "per-request deadline for query endpoints")
+		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		showVersion = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *showVersion {
+		fmt.Println(version.Get())
+		return nil
+	}
+	if *dataDir == "" {
+		return fmt.Errorf("-data-dir is required")
+	}
+	if *poll <= 0 {
+		return fmt.Errorf("-poll-interval must be positive")
+	}
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+
+	var mc logdiver.MachineConfig
+	switch *machineName {
+	case "bluewaters":
+		mc = logdiver.BlueWaters()
+	case "small":
+		mc = logdiver.SmallMachine()
+	default:
+		return fmt.Errorf("unknown machine %q", *machineName)
+	}
+	top, err := logdiver.NewTopology(mc)
+	if err != nil {
+		return err
+	}
+	loc, err := time.LoadLocation(*timezone)
+	if err != nil {
+		return fmt.Errorf("timezone: %w", err)
+	}
+	parseMode, err := logdiver.ParseModeFromString(*mode)
+	if err != nil {
+		return err
+	}
+	opts := logdiver.Options{Parallelism: *par, ParseMode: parseMode}
+	if *rules != "" {
+		f, err := os.Open(*rules)
+		if err != nil {
+			return err
+		}
+		parsed, err := taxonomy.ReadRuleFile(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if *validate {
+			cls, findings, err := rulecheck.NewValidatedClassifier(parsed, rulecheck.Options{})
+			for _, fd := range findings {
+				logger.Warn("rule finding", "file", *rules, "finding", fd.String())
+			}
+			if err != nil {
+				return fmt.Errorf("%s: %w (rerun with -validate-rules=false to override)", *rules, err)
+			}
+			opts.Classifier = cls
+		} else {
+			opts.Classifier = taxonomy.NewClassifier(taxonomy.Rules(parsed))
+		}
+	}
+
+	st := store.New()
+	sy, err := store.NewSyncer(store.SyncerConfig{
+		Tailer:   store.NewTailer(*dataDir),
+		Store:    st,
+		Topology: top,
+		Location: loc,
+		Options:  opts,
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(serve.Config{
+		Store:          st,
+		Version:        version.Get(),
+		RequestTimeout: *reqTimeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	if onListen != nil {
+		onListen(l.Addr().String())
+	}
+	logger.Info("logdiverd starting",
+		"version", version.Get().String(),
+		"listen", l.Addr().String(),
+		"data_dir", *dataDir,
+		"machine", *machineName,
+		"poll_interval", poll.String(),
+		"parse_mode", parseMode.String(),
+	)
+
+	// Ingestion loop: one goroutine owns the Syncer; the first round runs
+	// immediately so /v1/health turns ready without waiting a full tick.
+	syncDone := make(chan error, 1)
+	go func() {
+		defer close(syncDone)
+		tick := time.NewTicker(*poll)
+		defer tick.Stop()
+		for {
+			installed, err := sy.Sync()
+			if err != nil {
+				// A strict-mode parse failure poisons the pipeline: there
+				// is no way to serve correct numbers past corrupt input,
+				// so surface it and stop the daemon.
+				syncDone <- fmt.Errorf("sync: %w", err)
+				return
+			}
+			if installed {
+				snap := st.Current()
+				logger.Info("snapshot installed",
+					"epoch", snap.Epoch,
+					"runs", len(snap.Result.Runs),
+					"events", len(snap.Result.Events),
+					"reattributed", snap.Ingest.Reattributed,
+					"build_ms", snap.Ingest.BuildDuration.Milliseconds(),
+				)
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ctx, l, *drain) }()
+
+	var firstErr error
+	select {
+	case err := <-syncDone:
+		firstErr = err
+		stop() // bring the HTTP server down too
+		<-serveDone
+	case err := <-serveDone:
+		firstErr = err
+		stop()
+		<-syncDone
+	}
+	logger.Info("logdiverd stopped")
+	return firstErr
+}

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"logdiver/internal/gen"
+)
+
+// writeDataset generates one small-machine day of data and appends its
+// archives to the conventional file names under dir.
+func writeDataset(t *testing.T, dir string, offsetDays int, seed int64) *gen.Dataset {
+	t.Helper()
+	cfg := gen.Small(1)
+	cfg.Seed = seed
+	cfg.Start = cfg.Start.AddDate(0, 0, offsetDays)
+	cfg.Workload.JobsPerDay = 120
+	ds, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendTo := func(name string, write func(io.Writer) error) {
+		f, err := os.OpenFile(filepath.Join(dir, name), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := write(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	appendTo("accounting.log", ds.WriteAccounting)
+	appendTo("apsys.log", ds.WriteApsys)
+	appendTo("syslog.log", ds.WriteErrorLog)
+	return ds
+}
+
+type health struct {
+	Status string `json:"status"`
+	Epoch  uint64 `json:"epoch"`
+	Runs   int    `json:"runs"`
+}
+
+func getHealth(base string) (health, error) {
+	var h health
+	resp, err := http.Get(base + "/v1/health")
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return h, err
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		return h, fmt.Errorf("bad health JSON %q: %w", body, err)
+	}
+	return h, nil
+}
+
+// waitFor polls the health endpoint until pred holds or the deadline hits.
+func waitFor(t *testing.T, base string, what string, pred func(health) bool) health {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var last health
+	for time.Now().Before(deadline) {
+		h, err := getHealth(base)
+		if err == nil {
+			last = h
+			if pred(h) {
+				return h
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s; last health %+v", what, last)
+	return health{}
+}
+
+// TestDaemonEndToEnd boots the real daemon body against a growing archive
+// directory: readiness, every endpoint, epoch advance on append, and
+// graceful SIGTERM shutdown.
+func TestDaemonEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	ds := writeDataset(t, dir, 0, 31)
+
+	addrCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-data-dir", dir,
+			"-poll-interval", "100ms",
+			"-machine", "small",
+		}, func(addr string) { addrCh <- addr })
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case err := <-errCh:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never bound its listener")
+	}
+
+	h := waitFor(t, base, "first snapshot", func(h health) bool {
+		return h.Status == "ok" && h.Runs > 0
+	})
+	if got, want := h.Runs, len(ds.Runs); got != want {
+		t.Errorf("runs %d, want %d", got, want)
+	}
+	firstEpoch := h.Epoch
+
+	// Every endpoint answers 200 with a JSON (or Prometheus) body.
+	for _, path := range []string{
+		"/v1/outcomes", "/v1/scaling?class=xe", "/v1/scaling?class=xk",
+		"/v1/mtti", "/v1/categories",
+		fmt.Sprintf("/v1/runs/%d", ds.Runs[0].ApID),
+	} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d: %s", path, resp.StatusCode, body)
+		}
+		if !json.Valid(body) {
+			t.Errorf("%s: invalid JSON: %q", path, body)
+		}
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(mbody), "logdiver_snapshot_epoch") {
+		t.Errorf("metrics missing snapshot epoch gauge:\n%s", mbody)
+	}
+
+	// The archive grows; the daemon must notice and advance the epoch.
+	writeDataset(t, dir, 2, 32)
+	h2 := waitFor(t, base, "epoch advance", func(h health) bool {
+		return h.Epoch > firstEpoch
+	})
+	if h2.Runs <= h.Runs {
+		t.Errorf("runs did not grow on append: %d -> %d", h.Runs, h2.Runs)
+	}
+
+	// Graceful shutdown on SIGTERM.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("daemon exited with error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not stop on SIGTERM")
+	}
+}
+
+func TestDaemonFlagValidation(t *testing.T) {
+	if err := run([]string{"-listen", "127.0.0.1:0"}, nil); err == nil {
+		t.Error("missing -data-dir accepted")
+	}
+	if err := run([]string{"-data-dir", t.TempDir(), "-poll-interval", "-1s"}, nil); err == nil {
+		t.Error("negative poll interval accepted")
+	}
+	if err := run([]string{"-data-dir", t.TempDir(), "-machine", "nope"}, nil); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if err := run([]string{"-version"}, nil); err != nil {
+		t.Errorf("-version: %v", err)
+	}
+}

@@ -19,14 +19,7 @@ func main() {
 func run() error {
 	// A small machine (1,536 nodes) and three production days keep this
 	// example under a couple of seconds.
-	cfg := logdiver.ScaledGeneratorConfig(3)
-	cfg.Machine = logdiver.SmallMachine()
-	cfg.Workload.JobsPerDay = 400
-	cfg.Workload.XECapabilitySizes = []int{256, 512, 900}
-	cfg.Workload.XKCapabilitySizes = []int{64, 160}
-	cfg.Workload.FullScaleKneeXE = 512
-	cfg.Workload.FullScaleKneeXK = 160
-	cfg.Workload.SmallSizeMax = 96
+	cfg := logdiver.SmallGeneratorConfig(3)
 
 	ds, err := logdiver.Generate(cfg)
 	if err != nil {

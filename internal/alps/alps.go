@@ -294,6 +294,12 @@ func (a *Assembler) Runs() []AppRun {
 	return out
 }
 
+// Done returns the completed runs in completion (archive) order, without
+// sorting. The slice is append-only across Add calls: incremental ingestion
+// relies on Done()[n:] being exactly the runs completed since it last
+// observed n completed runs. The caller must not mutate the returned slice.
+func (a *Assembler) Done() []AppRun { return a.done }
+
 // Open returns the number of runs with a Starting record but no Finishing
 // record (still running at the end of the archive, or lost records).
 func (a *Assembler) Open() int { return len(a.open) }

@@ -132,6 +132,73 @@ type ParseStats struct {
 	AccountingDetail, ApsysDetail, SyslogDetail parse.LineStats
 }
 
+// ArchiveHygiene is the per-archive view of ParseStats: how much of one
+// raw log source was usable, with the malformed lines broken down by kind.
+// It is the shape both the logdiverd /v1/health endpoint and the
+// `logdiver analyze` hygiene summary render, so corruption tolerance is
+// observable online and offline in the same vocabulary.
+type ArchiveHygiene struct {
+	// Archive names the log source ("accounting", "apsys", "syslog").
+	Archive string `json:"archive"`
+	// Lines counts the well-formed lines or records consumed.
+	Lines int `json:"lines"`
+	// Malformed totals the skipped lines; the Kind* fields break it down.
+	Malformed     int `json:"malformed"`
+	KindStructure int `json:"kind_structure"`
+	KindTimestamp int `json:"kind_timestamp"`
+	KindField     int `json:"kind_field"`
+	KindEncoding  int `json:"kind_encoding"`
+	KindOversize  int `json:"kind_oversize"`
+	// Unclassified counts parsed syslog lines no taxonomy rule matched.
+	Unclassified int `json:"unclassified,omitempty"`
+	// Apsys pairing anomalies (zero for the other archives).
+	OpenRuns        int `json:"open_runs,omitempty"`
+	UnmatchedExits  int `json:"unmatched_exits,omitempty"`
+	DuplicateStarts int `json:"duplicate_starts,omitempty"`
+	ClampedRuns     int `json:"clamped_runs,omitempty"`
+}
+
+// String renders one hygiene row for text output.
+func (h ArchiveHygiene) String() string {
+	s := fmt.Sprintf("%s: %d lines, %d malformed (structure %d, timestamp %d, field %d, encoding %d, oversize %d)",
+		h.Archive, h.Lines, h.Malformed,
+		h.KindStructure, h.KindTimestamp, h.KindField, h.KindEncoding, h.KindOversize)
+	if h.Archive == ArchiveApsys {
+		s += fmt.Sprintf("; runs open %d, unmatched exits %d, duplicate starts %d, clamped %d",
+			h.OpenRuns, h.UnmatchedExits, h.DuplicateStarts, h.ClampedRuns)
+	}
+	if h.Archive == ArchiveSyslog {
+		s += fmt.Sprintf("; unclassified %d", h.Unclassified)
+	}
+	return s
+}
+
+// Hygiene breaks the parse stats down per archive in fixed order
+// (accounting, apsys, syslog).
+func (s ParseStats) Hygiene() []ArchiveHygiene {
+	row := func(archive string, lines int, d parse.LineStats) ArchiveHygiene {
+		return ArchiveHygiene{
+			Archive:       archive,
+			Lines:         lines,
+			Malformed:     d.Malformed(),
+			KindStructure: d.Kinds.Structure,
+			KindTimestamp: d.Kinds.Timestamp,
+			KindField:     d.Kinds.Field,
+			KindEncoding:  d.Kinds.Encoding,
+			KindOversize:  d.Kinds.Oversize,
+		}
+	}
+	acc := row(ArchiveAccounting, s.AccountingRecords, s.AccountingDetail)
+	aps := row(ArchiveApsys, s.ApsysLines, s.ApsysDetail)
+	aps.OpenRuns = s.OpenRuns
+	aps.UnmatchedExits = s.UnmatchedExits
+	aps.DuplicateStarts = s.DuplicateStarts
+	aps.ClampedRuns = s.ClampedRuns
+	sys := row(ArchiveSyslog, s.SyslogLines, s.SyslogDetail)
+	sys.Unclassified = s.Unclassified
+	return []ArchiveHygiene{acc, aps, sys}
+}
+
 // Result is the complete pipeline output.
 type Result struct {
 	// Jobs are the assembled batch jobs, sorted by start time.

@@ -67,18 +67,30 @@ func ingestParallel(a Archives, top *machine.Topology, opts Options) (jobs []wlm
 		accStats, apsStats, sysStats ParseStats
 		accErr, apsErr, sysErr       error
 	)
+	wlmAsm := wlm.NewAssembler()
+	alpsAsm := alps.NewAssembler()
+	alpsAsm.SetLenient(opts.ParseMode == parse.Lenient)
 	wg.Add(3)
 	go func() {
 		defer wg.Done()
-		jobs, accErr = readAccountingParallel(a.Accounting, a.Location, opts.Parallelism, opts.ParseMode, &accStats)
+		accErr = readAccountingParallel(a.Accounting, a.Location, opts.Parallelism, opts.ParseMode, &accStats, wlmAsm.Add)
+		if accErr != nil {
+			accErr = archiveErr(ArchiveAccounting, accErr)
+		}
 	}()
 	go func() {
 		defer wg.Done()
-		runs, apsErr = readApsysParallel(a.Apsys, opts.Parallelism, opts.ParseMode, &apsStats)
+		apsErr = readApsysParallel(a.Apsys, opts.Parallelism, opts.ParseMode, &apsStats, alpsAsm)
+		if apsErr != nil {
+			apsErr = archiveErr(ArchiveApsys, apsErr)
+		}
 	}()
 	go func() {
 		defer wg.Done()
 		events, sysErr = readSyslogParallel(a.Syslog, top, opts.Classifier, opts.Parallelism, opts.ParseMode, &sysStats)
+		if sysErr != nil {
+			sysErr = archiveErr(ArchiveSyslog, sysErr)
+		}
 	}()
 	wg.Wait()
 	// Surface errors in fixed archive order (accounting, apsys, syslog) so a
@@ -89,10 +101,21 @@ func ingestParallel(a Archives, top *machine.Topology, opts Options) (jobs []wlm
 			return nil, nil, nil, ParseStats{}, e
 		}
 	}
+	apsStats.setAssembler(alpsAsm)
 	stats.merge(accStats)
 	stats.merge(apsStats)
 	stats.merge(sysStats)
-	return jobs, runs, events, stats, nil
+	return wlmAsm.Jobs(), alpsAsm.Runs(), events, stats, nil
+}
+
+// setAssembler copies the pairing-anomaly counters out of an apsys
+// assembler. These are state (not additive per block), so the incremental
+// path re-derives them from the persistent assembler at every snapshot.
+func (s *ParseStats) setAssembler(asm *alps.Assembler) {
+	s.OpenRuns = asm.Open()
+	s.UnmatchedExits = asm.Unmatched()
+	s.DuplicateStarts = asm.Duplicates()
+	s.ClampedRuns = asm.ClampedEnds()
 }
 
 // accChunk is one parsed accounting block.
@@ -101,11 +124,15 @@ type accChunk struct {
 	stats parse.LineStats
 }
 
-func readAccountingParallel(r io.Reader, loc *time.Location, workers int, mode parse.Mode, st *ParseStats) ([]wlm.Job, error) {
+// readAccountingParallel streams the accounting archive through the block
+// worker pool, feeding every parsed record to sink (in archive order) and
+// accumulating parse stats into st. The caller owns the assembler behind
+// sink, so both the one-shot and the incremental ingestion paths share this
+// reader. Errors are returned unwrapped; the caller stamps the archive name.
+func readAccountingParallel(r io.Reader, loc *time.Location, workers int, mode parse.Mode, st *ParseStats, sink func(wlm.Record) error) error {
 	if r == nil {
-		return nil, nil
+		return nil
 	}
-	asm := wlm.NewAssembler()
 	err := stream.OrderedNumberedBlocks(r, ingestBlockSize, workers,
 		func(b stream.Block) (accChunk, error) {
 			recs, stats, err := wlm.ParseBlockMode(b.Data, loc, b.FirstLine, mode)
@@ -118,18 +145,18 @@ func readAccountingParallel(r io.Reader, loc *time.Location, workers int, mode p
 			st.AccountingRecords += len(c.recs)
 			st.AccountingDetail.Merge(c.stats)
 			for _, rec := range c.recs {
-				if err := asm.Add(rec); err != nil {
+				if err := sink(rec); err != nil {
 					return err
 				}
 			}
 			return nil
 		})
 	if err != nil {
-		return nil, archiveErr(ArchiveAccounting, err)
+		return err
 	}
 	st.AccountingDetail.SetArchive(ArchiveAccounting)
 	st.AccountingMalformed = st.AccountingDetail.Malformed()
-	return asm.Jobs(), nil
+	return nil
 }
 
 // apsChunk is one parsed apsys block.
@@ -172,12 +199,16 @@ func parseApsysBlock(b stream.Block, mode parse.Mode) (apsChunk, error) {
 	return c, nil
 }
 
-func readApsysParallel(r io.Reader, workers int, mode parse.Mode, st *ParseStats) ([]alps.AppRun, error) {
+// readApsysParallel streams the apsys archive through the block worker
+// pool into the caller-owned assembler. The pairing-anomaly counters
+// (OpenRuns, UnmatchedExits, ...) are assembler state, not per-block
+// deltas, so the caller derives them via setAssembler once ingestion — or,
+// on the incremental path, the whole tailing session — is done. Errors are
+// returned unwrapped; the caller stamps the archive name.
+func readApsysParallel(r io.Reader, workers int, mode parse.Mode, st *ParseStats, asm *alps.Assembler) error {
 	if r == nil {
-		return nil, nil
+		return nil
 	}
-	asm := alps.NewAssembler()
-	asm.SetLenient(mode == parse.Lenient)
 	err := stream.OrderedNumberedBlocks(r, ingestBlockSize, workers,
 		func(b stream.Block) (apsChunk, error) { return parseApsysBlock(b, mode) },
 		func(c apsChunk) error {
@@ -191,15 +222,11 @@ func readApsysParallel(r io.Reader, workers int, mode parse.Mode, st *ParseStats
 			return nil
 		})
 	if err != nil {
-		return nil, archiveErr(ArchiveApsys, err)
+		return err
 	}
 	st.ApsysDetail.SetArchive(ArchiveApsys)
 	st.ApsysMalformed = st.ApsysDetail.Malformed()
-	st.OpenRuns = asm.Open()
-	st.UnmatchedExits = asm.Unmatched()
-	st.DuplicateStarts = asm.Duplicates()
-	st.ClampedRuns = asm.ClampedEnds()
-	return asm.Runs(), nil
+	return nil
 }
 
 // sysChunk is one parsed-and-classified syslog block.
@@ -241,7 +268,7 @@ func readSyslogParallel(r io.Reader, top *machine.Topology, cls *taxonomy.Classi
 			return nil
 		})
 	if err != nil {
-		return nil, archiveErr(ArchiveSyslog, err)
+		return nil, err
 	}
 	st.SyslogDetail.SetArchive(ArchiveSyslog)
 	st.SyslogMalformed = st.SyslogDetail.Malformed()

@@ -228,6 +228,22 @@ func Scaled(days int) Config {
 	return cfg
 }
 
+// Small returns a configuration sized for examples, smoke tests and CI:
+// the 1,536-node small machine with a workload rescaled to fit it. A few
+// days generate and analyze in seconds while still exercising the full
+// pipeline, including capability-scale runs at the machine's knee.
+func Small(days int) Config {
+	cfg := Scaled(days)
+	cfg.Machine = machine.Small()
+	cfg.Workload.JobsPerDay = 400
+	cfg.Workload.XECapabilitySizes = []int{256, 512, 900}
+	cfg.Workload.XKCapabilitySizes = []int{64, 160}
+	cfg.Workload.FullScaleKneeXE = 512
+	cfg.Workload.FullScaleKneeXK = 160
+	cfg.Workload.SmallSizeMax = 96
+	return cfg
+}
+
 // Validate checks the configuration for obvious inconsistencies.
 func (c Config) Validate() error {
 	if c.Days <= 0 {

@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+)
+
+// BenchmarkServeQueries measures per-endpoint request latency against a
+// realistic snapshot, handler-direct (no network), one goroutine. The CI
+// bench gate tracks these in BENCH_serve.json.
+func BenchmarkServeQueries(b *testing.B) {
+	st := testStore(b)
+	srv, err := New(Config{Store: st})
+	if err != nil {
+		b.Fatal(err)
+	}
+	apid := st.Current().Result.Runs[0].ApID
+	paths := []struct{ name, path string }{
+		{"health", "/v1/health"},
+		{"outcomes", "/v1/outcomes"},
+		{"scaling", "/v1/scaling?class=xe"},
+		{"mtti", "/v1/mtti"},
+		{"categories", "/v1/categories"},
+		{"runs", fmt.Sprintf("/v1/runs/%d", apid)},
+		{"metrics", "/metrics"},
+	}
+	for _, p := range paths {
+		b.Run(p.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest("GET", p.path, nil)
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				if rec.Code != 200 {
+					b.Fatalf("%s: status %d", p.path, rec.Code)
+				}
+			}
+		})
+	}
+}

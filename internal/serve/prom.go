@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// endpointStats are the per-endpoint request counters. All fields are
+// atomics: handlers on any goroutine bump them lock-free and the /metrics
+// scrape reads them the same way.
+type endpointStats struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	// durationNanos accumulates total handler wall time.
+	durationNanos atomic.Int64
+}
+
+// promMetrics is the hand-rolled, stdlib-only Prometheus registry. The
+// endpoint map is built once at server construction and never mutated, so
+// concurrent reads need no lock.
+type promMetrics struct {
+	endpoints map[string]*endpointStats
+}
+
+func newPromMetrics(endpoints []string) *promMetrics {
+	m := &promMetrics{endpoints: make(map[string]*endpointStats, len(endpoints))}
+	for _, e := range endpoints {
+		m.endpoints[e] = &endpointStats{}
+	}
+	return m
+}
+
+// observe records one finished request.
+func (m *promMetrics) observe(endpoint string, status int, took time.Duration) {
+	st := m.endpoints[endpoint]
+	if st == nil {
+		return
+	}
+	st.requests.Add(1)
+	if status >= 400 {
+		st.errors.Add(1)
+	}
+	st.durationNanos.Add(int64(took))
+}
+
+// render writes the Prometheus text exposition format. Gauges describing
+// the serving state (snapshot epoch, run count, ingestion lag) come from
+// the caller so the registry stays decoupled from the store.
+func (m *promMetrics) render(w http.ResponseWriter, gauges map[string]float64) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+
+	keys := make([]string, 0, len(m.endpoints))
+	for k := range m.endpoints {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	b.WriteString("# HELP logdiver_http_requests_total Requests served, by endpoint.\n")
+	b.WriteString("# TYPE logdiver_http_requests_total counter\n")
+	for _, k := range keys {
+		fmt.Fprintf(&b, "logdiver_http_requests_total{endpoint=%q} %d\n", k, m.endpoints[k].requests.Load())
+	}
+	b.WriteString("# HELP logdiver_http_errors_total Requests answered with status >= 400, by endpoint.\n")
+	b.WriteString("# TYPE logdiver_http_errors_total counter\n")
+	for _, k := range keys {
+		fmt.Fprintf(&b, "logdiver_http_errors_total{endpoint=%q} %d\n", k, m.endpoints[k].errors.Load())
+	}
+	b.WriteString("# HELP logdiver_http_request_duration_seconds Total handler wall time, by endpoint.\n")
+	b.WriteString("# TYPE logdiver_http_request_duration_seconds counter\n")
+	for _, k := range keys {
+		fmt.Fprintf(&b, "logdiver_http_request_duration_seconds_sum{endpoint=%q} %g\n",
+			k, time.Duration(m.endpoints[k].durationNanos.Load()).Seconds())
+		fmt.Fprintf(&b, "logdiver_http_request_duration_seconds_count{endpoint=%q} %d\n",
+			k, m.endpoints[k].requests.Load())
+	}
+
+	gkeys := make([]string, 0, len(gauges))
+	for k := range gauges {
+		gkeys = append(gkeys, k)
+	}
+	sort.Strings(gkeys)
+	for _, k := range gkeys {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", k, k, gauges[k])
+	}
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// statusRecorder captures the status code a handler writes, so the
+// instrumentation wrapper outside http.TimeoutHandler sees the status the
+// client actually received (including the timeout 503).
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}

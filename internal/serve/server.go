@@ -1,0 +1,489 @@
+// Package serve is the HTTP query layer of the online subsystem. Handlers
+// are thin, read-only views over the latest store.Snapshot: each request
+// loads the snapshot pointer exactly once and answers entirely from it, so
+// a response is always internally consistent with a single epoch even while
+// the ingestion goroutine installs newer snapshots concurrently. Every
+// payload carries the epoch it was answered from.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"logdiver/internal/core"
+	"logdiver/internal/correlate"
+	"logdiver/internal/metrics"
+	"logdiver/internal/store"
+	"logdiver/internal/version"
+)
+
+// Defaults for Config knobs left zero.
+const (
+	DefaultRequestTimeout = 10 * time.Second
+	// DefaultMaxQueryBytes bounds the raw query string; longer requests
+	// are rejected with 414 before any handler work.
+	DefaultMaxQueryBytes = 1024
+	// DefaultMaxBodyBytes bounds request bodies. The API is read-only, so
+	// anything beyond a trivial body is a client error.
+	DefaultMaxBodyBytes = 4096
+)
+
+// Config wires a Server.
+type Config struct {
+	// Store supplies snapshots. Required.
+	Store *store.Store
+	// Version is reported by /v1/health.
+	Version version.Info
+	// RequestTimeout bounds each request end to end (DefaultRequestTimeout
+	// when zero). Requests over budget get 503.
+	RequestTimeout time.Duration
+	// MaxQueryBytes and MaxBodyBytes bound request size (defaults above).
+	MaxQueryBytes int
+	MaxBodyBytes  int64
+	// Now injects the clock for the ingestion-lag gauge (time.Now if nil).
+	Now func() time.Time
+}
+
+// Server is the HTTP API. It implements http.Handler.
+type Server struct {
+	cfg  Config
+	prom *promMetrics
+	mux  *http.ServeMux
+}
+
+// Endpoint keys used in metrics labels.
+var endpointKeys = []string{
+	"health", "outcomes", "scaling", "mtti", "categories", "runs", "metrics",
+}
+
+// New validates cfg and builds the route table.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("serve: nil store")
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.MaxQueryBytes <= 0 {
+		cfg.MaxQueryBytes = DefaultMaxQueryBytes
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	s := &Server{cfg: cfg, prom: newPromMetrics(endpointKeys), mux: http.NewServeMux()}
+	s.route("GET /v1/health", "health", s.handleHealth)
+	s.route("GET /v1/outcomes", "outcomes", s.handleOutcomes)
+	s.route("GET /v1/scaling", "scaling", s.handleScaling)
+	s.route("GET /v1/mtti", "mtti", s.handleMTTI)
+	s.route("GET /v1/categories", "categories", s.handleCategories)
+	s.route("GET /v1/runs/{apid}", "runs", s.handleRun)
+	s.route("GET /metrics", "metrics", s.handleMetrics)
+	return s, nil
+}
+
+// route registers one instrumented, size-bounded, deadline-bounded handler.
+// The instrumentation wraps OUTSIDE the timeout so the counters see the 503
+// a timed-out client actually received.
+func (s *Server) route(pattern, key string, h http.HandlerFunc) {
+	limited := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if len(r.URL.RawQuery) > s.cfg.MaxQueryBytes {
+			s.writeErr(w, http.StatusRequestURITooLong, "query string too long")
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		h(w, r)
+	})
+	inner := http.Handler(limited)
+	if key != "metrics" && key != "health" {
+		// Health and metrics stay cheap and deadline-free: they are the
+		// probes operators use to diagnose an overloaded server.
+		inner = http.TimeoutHandler(limited, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+	}
+	s.mux.Handle(pattern, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		began := s.cfg.Now()
+		inner.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		s.prom.observe(key, rec.status, s.cfg.Now().Sub(began))
+	}))
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Serve runs the API on l until ctx is canceled, then shuts down
+// gracefully, draining in-flight requests for up to drain.
+func (s *Server) Serve(ctx context.Context, l net.Listener, drain time.Duration) error {
+	srv := &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	<-errc // always http.ErrServerClosed after a clean Shutdown
+	return nil
+}
+
+// writeJSON encodes v with a status code.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, status int, msg string) {
+	s.writeJSON(w, status, errResponse{Error: msg})
+}
+
+// snapshot loads the current snapshot once, answering 503 when ingestion
+// has not produced one yet. Handlers must do ALL reads through the returned
+// pointer: loading twice could straddle an epoch swap.
+func (s *Server) snapshot(w http.ResponseWriter) (*store.Snapshot, bool) {
+	snap := s.cfg.Store.Current()
+	if snap == nil {
+		s.writeErr(w, http.StatusServiceUnavailable, "no snapshot yet: ingestion warming up")
+		return nil, false
+	}
+	return snap, true
+}
+
+// ---- /v1/health ----
+
+type healthResponse struct {
+	Status  string            `json:"status"`
+	Epoch   uint64            `json:"epoch"`
+	BuiltAt string            `json:"built_at"`
+	Runs    int               `json:"runs"`
+	Jobs    int               `json:"jobs"`
+	Events  int               `json:"events"`
+	Span    string            `json:"span,omitempty"`
+	Version version.Info      `json:"version"`
+	Ingest  store.IngestStats `json:"ingest"`
+	// IngestLagSeconds is the age of the last ingestion poll — the gauge
+	// that catches a wedged tail loop even when no data is arriving.
+	IngestLagSeconds float64 `json:"ingest_lag_seconds"`
+	// Parse surfaces lenient-mode accounting per archive: per-kind
+	// malformed counters plus the pairing anomalies (duplicate starts,
+	// clamped runs, unmatched exits).
+	Parse []core.ArchiveHygiene `json:"parse"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	snap := s.cfg.Store.Current()
+	if snap == nil {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":  "starting",
+			"version": s.cfg.Version,
+		})
+		return
+	}
+	resp := healthResponse{
+		Status:  "ok",
+		Epoch:   snap.Epoch,
+		BuiltAt: snap.BuiltAt.UTC().Format(time.RFC3339),
+		Runs:    len(snap.Result.Runs),
+		Jobs:    len(snap.Result.Jobs),
+		Events:  len(snap.Result.Events),
+		Version: s.cfg.Version,
+		Ingest:  snap.Ingest,
+		Parse:   snap.Result.Parse.Hygiene(),
+	}
+	if !snap.Result.Start.IsZero() {
+		resp.Span = fmt.Sprintf("%s .. %s",
+			snap.Result.Start.UTC().Format(time.RFC3339),
+			snap.Result.End.UTC().Format(time.RFC3339))
+	}
+	if last, ok := s.cfg.Store.LastSync(); ok {
+		resp.IngestLagSeconds = s.cfg.Now().Sub(last).Seconds()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- /v1/outcomes ----
+
+type outcomeRow struct {
+	Outcome   string  `json:"outcome"`
+	Runs      int     `json:"runs"`
+	NodeHours float64 `json:"node_hours"`
+}
+
+type outcomesResponse struct {
+	Epoch                   uint64       `json:"epoch"`
+	TotalRuns               int          `json:"total_runs"`
+	TotalNodeHours          float64      `json:"total_node_hours"`
+	Outcomes                []outcomeRow `json:"outcomes"`
+	SystemFailureFraction   float64      `json:"system_failure_fraction"`
+	SystemNodeHoursFraction float64      `json:"system_node_hours_fraction"`
+}
+
+// outcomeOrder fixes the row order of the E2 breakdown.
+var outcomeOrder = []correlate.Outcome{
+	correlate.OutcomeSuccess,
+	correlate.OutcomeUserFailure,
+	correlate.OutcomeWalltime,
+	correlate.OutcomeSystemFailure,
+}
+
+func (s *Server) handleOutcomes(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snapshot(w)
+	if !ok {
+		return
+	}
+	b := snap.Outcomes
+	resp := outcomesResponse{
+		Epoch:                   snap.Epoch,
+		TotalRuns:               b.Total,
+		TotalNodeHours:          b.TotalNodeHours,
+		Outcomes:                make([]outcomeRow, 0, len(outcomeOrder)),
+		SystemFailureFraction:   b.SystemFailureFraction(),
+		SystemNodeHoursFraction: b.SystemNodeHoursFraction(),
+	}
+	for _, o := range outcomeOrder {
+		resp.Outcomes = append(resp.Outcomes, outcomeRow{
+			Outcome:   o.String(),
+			Runs:      b.Counts[o],
+			NodeHours: b.NodeHours[o],
+		})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- /v1/scaling ----
+
+type scaleRow struct {
+	Label    string  `json:"label"`
+	Lo       int     `json:"lo"`
+	Hi       int     `json:"hi"`
+	Runs     int     `json:"runs"`
+	Failures int     `json:"failures"`
+	Prob     float64 `json:"prob"`
+	ProbLo   float64 `json:"prob_lo"`
+	ProbHi   float64 `json:"prob_hi"`
+}
+
+type scalingResponse struct {
+	Epoch   uint64     `json:"epoch"`
+	Class   string     `json:"class"`
+	Buckets []scaleRow `json:"buckets"`
+}
+
+func (s *Server) handleScaling(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snapshot(w)
+	if !ok {
+		return
+	}
+	var buckets []metrics.ScaleBucket
+	class := r.URL.Query().Get("class")
+	switch class {
+	case "", "xe":
+		class = "xe"
+		buckets = snap.ScalingXE
+	case "xk":
+		buckets = snap.ScalingXK
+	default:
+		s.writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown class %q: want xe or xk", class))
+		return
+	}
+	resp := scalingResponse{Epoch: snap.Epoch, Class: class, Buckets: make([]scaleRow, 0, len(buckets))}
+	for _, b := range buckets {
+		resp.Buckets = append(resp.Buckets, scaleRow{
+			Label:    b.Label(),
+			Lo:       b.Lo,
+			Hi:       b.Hi,
+			Runs:     b.Runs,
+			Failures: b.Failures,
+			Prob:     b.Prob.P,
+			ProbLo:   b.Prob.Lo,
+			ProbHi:   b.Prob.Hi,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- /v1/mtti ----
+
+type mttiRow struct {
+	Lo            int     `json:"lo"`
+	Hi            int     `json:"hi"`
+	Runs          int     `json:"runs"`
+	Interrupts    int     `json:"interrupts"`
+	ExposureHours float64 `json:"exposure_hours"`
+	MTTIHours     float64 `json:"mtti_hours"`
+}
+
+type mttiResponse struct {
+	Epoch   uint64    `json:"epoch"`
+	Buckets []mttiRow `json:"buckets"`
+}
+
+func (s *Server) handleMTTI(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snapshot(w)
+	if !ok {
+		return
+	}
+	resp := mttiResponse{Epoch: snap.Epoch, Buckets: make([]mttiRow, 0, len(snap.MTTI))}
+	for _, b := range snap.MTTI {
+		resp.Buckets = append(resp.Buckets, mttiRow{
+			Lo:            b.Lo,
+			Hi:            b.Hi,
+			Runs:          b.Runs,
+			Interrupts:    b.Interrupts,
+			ExposureHours: b.ExposureHours,
+			MTTIHours:     b.MTTIHours,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- /v1/categories ----
+
+type categoryRow struct {
+	Group         string  `json:"group"`
+	Category      string  `json:"category"`
+	Failures      int     `json:"failures"`
+	NodeHoursLost float64 `json:"node_hours_lost"`
+}
+
+type categoriesResponse struct {
+	Epoch      uint64        `json:"epoch"`
+	Categories []categoryRow `json:"categories"`
+}
+
+func (s *Server) handleCategories(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snapshot(w)
+	if !ok {
+		return
+	}
+	resp := categoriesResponse{Epoch: snap.Epoch, Categories: make([]categoryRow, 0, len(snap.Categories))}
+	for _, c := range snap.Categories {
+		resp.Categories = append(resp.Categories, categoryRow{
+			Group:         c.Group.String(),
+			Category:      c.Category.String(),
+			Failures:      c.Failures,
+			NodeHoursLost: c.NodeHoursLost,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- /v1/runs/{apid} ----
+
+type evidenceView struct {
+	Time     string `json:"time"`
+	Node     string `json:"node,omitempty"`
+	Category string `json:"category"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+}
+
+type runResponse struct {
+	Epoch     uint64        `json:"epoch"`
+	ApID      uint64        `json:"apid"`
+	JobID     string        `json:"job_id"`
+	User      string        `json:"user"`
+	Cmd       string        `json:"cmd"`
+	Width     int           `json:"width"`
+	Nodes     int           `json:"nodes"`
+	Class     string        `json:"class"`
+	Start     string        `json:"start"`
+	End       string        `json:"end"`
+	DurationS float64       `json:"duration_seconds"`
+	ExitCode  int           `json:"exit_code"`
+	Signal    int           `json:"signal"`
+	Outcome   string        `json:"outcome"`
+	Cause     string        `json:"cause,omitempty"`
+	Evidence  *evidenceView `json:"evidence,omitempty"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snapshot(w)
+	if !ok {
+		return
+	}
+	apid, err := strconv.ParseUint(r.PathValue("apid"), 10, 64)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad apid %q", r.PathValue("apid")))
+		return
+	}
+	run, ok := snap.Run(apid)
+	if !ok {
+		s.writeErr(w, http.StatusNotFound, fmt.Sprintf("no run with apid %d in epoch %d", apid, snap.Epoch))
+		return
+	}
+	resp := runResponse{
+		Epoch:     snap.Epoch,
+		ApID:      run.ApID,
+		JobID:     run.JobID,
+		User:      run.User,
+		Cmd:       run.Cmd,
+		Width:     run.Width,
+		Nodes:     len(run.Nodes),
+		Class:     run.Class.String(),
+		Start:     run.Start.UTC().Format(time.RFC3339),
+		End:       run.End.UTC().Format(time.RFC3339),
+		DurationS: run.Duration().Seconds(),
+		ExitCode:  run.ExitCode,
+		Signal:    run.Signal,
+		Outcome:   run.Outcome.String(),
+	}
+	if run.Outcome == correlate.OutcomeSystemFailure {
+		resp.Cause = run.Cause.String()
+	}
+	if run.HasEvidence {
+		ev := &evidenceView{
+			Time:     run.Evidence.Time.UTC().Format(time.RFC3339),
+			Category: run.Evidence.Category.String(),
+			Severity: run.Evidence.Severity.String(),
+			Message:  run.Evidence.Message,
+		}
+		if !run.Evidence.IsSystemWide() {
+			ev.Node = run.Evidence.Cname
+		}
+		resp.Evidence = ev
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- /metrics ----
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	gauges := map[string]float64{
+		"logdiver_snapshot_epoch": 0,
+		"logdiver_snapshot_runs":  0,
+	}
+	if snap := s.cfg.Store.Current(); snap != nil {
+		gauges["logdiver_snapshot_epoch"] = float64(snap.Epoch)
+		gauges["logdiver_snapshot_runs"] = float64(len(snap.Result.Runs))
+		gauges["logdiver_snapshot_built_timestamp_seconds"] = float64(snap.BuiltAt.Unix())
+	}
+	if last, ok := s.cfg.Store.LastSync(); ok {
+		gauges["logdiver_ingest_lag_seconds"] = s.cfg.Now().Sub(last).Seconds()
+	}
+	s.prom.render(w, gauges)
+}

@@ -1,0 +1,104 @@
+// Package store holds the serving state of the online subsystem: immutable,
+// epoch-versioned snapshots of the full pipeline output, installed by atomic
+// pointer swap so query handlers never block on — and never observe a torn
+// state from — the ingestion goroutine. The package also provides the
+// Tailer (chunked reading of growing, rotating archives) and the Syncer
+// that drives one tail-append-rebuild-install round.
+package store
+
+import (
+	"fmt"
+	"time"
+
+	"logdiver/internal/core"
+	"logdiver/internal/correlate"
+	"logdiver/internal/machine"
+	"logdiver/internal/metrics"
+)
+
+// IngestStats describes the ingestion history behind a snapshot.
+type IngestStats struct {
+	// Rounds counts Sync rounds that appended data (not no-op polls).
+	Rounds int `json:"rounds"`
+	// AccountingLines, ApsysLines and SyslogLines are cumulative raw line
+	// counts consumed from each archive.
+	AccountingLines int `json:"accounting_lines"`
+	ApsysLines      int `json:"apsys_lines"`
+	SyslogLines     int `json:"syslog_lines"`
+	// Reattributed is the number of runs the snapshot's build round
+	// re-attributed (the windowed-reattribution cost of the round).
+	Reattributed int `json:"reattributed"`
+	// BuildDuration is the wall-clock cost of the snapshot rebuild.
+	BuildDuration time.Duration `json:"build_duration_ns"`
+}
+
+// Snapshot is one immutable view of the analyzed archive state. All fields
+// are computed at build time; readers share the snapshot freely and must
+// not mutate it.
+type Snapshot struct {
+	// Epoch is the monotonically increasing install sequence number,
+	// assigned by Store.Install (1 for the first snapshot).
+	Epoch uint64
+	// BuiltAt is when the snapshot was materialized.
+	BuiltAt time.Time
+	// Result is the full pipeline output the views below derive from.
+	Result *core.Result
+	// Outcomes is the E2 outcome breakdown over all runs.
+	Outcomes metrics.OutcomeBreakdown
+	// Categories is the per-category failure attribution (E7 shape).
+	Categories []metrics.CategoryShare
+	// ScalingXE and ScalingXK are the failure-probability-versus-scale
+	// curves per node class (E4/E5 shape), over geometric buckets sized to
+	// the topology.
+	ScalingXE, ScalingXK []metrics.ScaleBucket
+	// MTTI is mean-time-to-interrupt by scale over all classes.
+	MTTI []metrics.MTTIBucket
+	// Ingest describes how the data got here.
+	Ingest IngestStats
+
+	// runIndex maps apid to Result.Runs index for the drill-down endpoint.
+	runIndex map[uint64]int
+}
+
+// Build derives a Snapshot from a pipeline Result. The epoch is zero until
+// Store.Install assigns it.
+func Build(res *core.Result, top *machine.Topology, ing IngestStats, at time.Time) (*Snapshot, error) {
+	if res == nil {
+		return nil, fmt.Errorf("store: nil result")
+	}
+	if top == nil {
+		return nil, fmt.Errorf("store: nil topology")
+	}
+	s := &Snapshot{
+		BuiltAt:    at,
+		Result:     res,
+		Outcomes:   metrics.Outcomes(res.Runs),
+		Categories: metrics.ByCategory(res.Runs),
+		Ingest:     ing,
+		runIndex:   make(map[uint64]int, len(res.Runs)),
+	}
+	var err error
+	allBounds := metrics.GeometricBuckets(top.NumNodes())
+	if s.ScalingXE, err = metrics.FailureProbabilityByScale(res.Runs, metrics.GeometricBuckets(top.NumXE()), machine.ClassXE); err != nil {
+		return nil, fmt.Errorf("store: xe scaling: %w", err)
+	}
+	if s.ScalingXK, err = metrics.FailureProbabilityByScale(res.Runs, metrics.GeometricBuckets(top.NumXK()), machine.ClassXK); err != nil {
+		return nil, fmt.Errorf("store: xk scaling: %w", err)
+	}
+	if s.MTTI, err = metrics.MTTIByScale(res.Runs, allBounds, 0); err != nil {
+		return nil, fmt.Errorf("store: mtti: %w", err)
+	}
+	for i, r := range res.Runs {
+		s.runIndex[r.ApID] = i
+	}
+	return s, nil
+}
+
+// Run returns the attributed run with the given apid, if present.
+func (s *Snapshot) Run(apid uint64) (correlate.AttributedRun, bool) {
+	i, ok := s.runIndex[apid]
+	if !ok {
+		return correlate.AttributedRun{}, false
+	}
+	return s.Result.Runs[i], true
+}

@@ -1,0 +1,54 @@
+package store
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Store publishes snapshots to concurrent readers. One writer (the
+// ingestion goroutine) Installs; any number of readers call Current. The
+// swap is a single atomic pointer store: a reader holding a snapshot keeps
+// a fully consistent view for as long as it wants, and a reader arriving
+// mid-install sees either the old or the new snapshot, never a mixture.
+type Store struct {
+	cur   atomic.Pointer[Snapshot]
+	epoch atomic.Uint64
+	// lastSync is the unix-nano wall time of the last ingestion poll
+	// (including no-op polls); 0 before the first. It backs the
+	// ingestion-lag gauge: a wedged tail loop shows up as growing lag even
+	// while the snapshot epoch sits still.
+	lastSync atomic.Int64
+}
+
+// New returns an empty store. Current returns nil until the first Install.
+func New() *Store { return &Store{} }
+
+// Current returns the latest installed snapshot, or nil before the first
+// Install. The returned snapshot is immutable; callers must read it as-is.
+func (st *Store) Current() *Snapshot { return st.cur.Load() }
+
+// Install assigns the next epoch to s and publishes it, returning the
+// epoch. Install must be called from a single writer goroutine; epochs are
+// assigned in call order and start at 1.
+func (st *Store) Install(s *Snapshot) uint64 {
+	s.Epoch = st.epoch.Add(1)
+	st.cur.Store(s)
+	return s.Epoch
+}
+
+// Epoch returns the epoch of the latest installed snapshot (0 before the
+// first Install).
+func (st *Store) Epoch() uint64 { return st.epoch.Load() }
+
+// MarkSync records a completed ingestion poll at t.
+func (st *Store) MarkSync(t time.Time) { st.lastSync.Store(t.UnixNano()) }
+
+// LastSync returns the time of the last recorded ingestion poll; ok is
+// false before the first.
+func (st *Store) LastSync() (t time.Time, ok bool) {
+	n := st.lastSync.Load()
+	if n == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, n), true
+}

@@ -1,0 +1,106 @@
+package store
+
+import (
+	"fmt"
+	"time"
+
+	"logdiver/internal/core"
+	"logdiver/internal/machine"
+)
+
+// SyncerConfig wires a Syncer.
+type SyncerConfig struct {
+	// Tailer supplies the raw archive deltas. Required.
+	Tailer *Tailer
+	// Store receives the built snapshots. Required.
+	Store *Store
+	// Topology is the machine the archives describe. Required.
+	Topology *machine.Topology
+	// Location interprets accounting timestamps (UTC when nil).
+	Location *time.Location
+	// Options follows core.Analyze semantics (zero value = study defaults).
+	Options core.Options
+	// Now injects the clock (time.Now when nil); tests pin it.
+	Now func() time.Time
+}
+
+// Syncer drives ingestion rounds: poll the tailer, append the delta to the
+// incremental pipeline, rebuild the snapshot and install it. One Syncer
+// owns one ingestion sequence; it is not safe for concurrent use — the
+// daemon runs Sync from a single goroutine and readers see the results
+// through the Store.
+type Syncer struct {
+	tail  *Tailer
+	inc   *core.Incremental
+	store *Store
+	top   *machine.Topology
+	now   func() time.Time
+	ing   IngestStats
+}
+
+// NewSyncer validates cfg and returns a Syncer with an empty pipeline.
+func NewSyncer(cfg SyncerConfig) (*Syncer, error) {
+	if cfg.Tailer == nil {
+		return nil, fmt.Errorf("store: nil tailer")
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("store: nil store")
+	}
+	inc, err := core.NewIncremental(cfg.Topology, cfg.Location, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &Syncer{
+		tail:  cfg.Tailer,
+		inc:   inc,
+		store: cfg.Store,
+		top:   cfg.Topology,
+		now:   now,
+	}, nil
+}
+
+// Sync runs one ingestion round and reports whether a new snapshot was
+// installed. A poll that finds no new data is a no-op (the sync heartbeat
+// still advances) — except for the very first round, which installs an
+// empty snapshot so the API becomes ready even over empty archives.
+func (s *Syncer) Sync() (installed bool, err error) {
+	defer func() {
+		// Heartbeat even on failed or empty rounds: ingestion lag measures
+		// the poll loop being alive, not data arriving.
+		s.store.MarkSync(s.now())
+	}()
+	d, err := s.tail.Poll()
+	if err != nil {
+		return false, err
+	}
+	if d.Empty() && s.store.Current() != nil {
+		return false, nil
+	}
+	began := s.now()
+	ast, err := s.inc.Append(d)
+	if err != nil {
+		return false, err
+	}
+	res, err := s.inc.Result()
+	if err != nil {
+		return false, err
+	}
+	if !d.Empty() {
+		s.ing.Rounds++
+	}
+	s.ing.AccountingLines += ast.AccountingLines
+	s.ing.ApsysLines += ast.ApsysLines
+	s.ing.SyslogLines += ast.SyslogLines
+	s.ing.Reattributed = s.inc.Reattributed()
+	s.ing.BuildDuration = s.now().Sub(began)
+	snap, err := Build(res, s.top, s.ing, s.now())
+	if err != nil {
+		return false, err
+	}
+	s.store.Install(snap)
+	return true, nil
+}

@@ -1,0 +1,148 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"logdiver/internal/core"
+)
+
+// Archive file names a Tailer expects inside its data directory — the same
+// names `logdiver generate` writes.
+const (
+	AccountingFile = "accounting.log"
+	ApsysFile      = "apsys.log"
+	SyslogFile     = "syslog.log"
+)
+
+// maxPollBytes bounds how much one Poll reads per archive, so a huge
+// backlog is ingested in bounded-memory rounds instead of one giant slurp.
+const maxPollBytes = 64 << 20
+
+// tailFile is the per-archive tail state.
+type tailFile struct {
+	path string
+	// offset is the byte position already consumed (including carry).
+	offset int64
+	// carry holds a trailing partial line read but not yet released; it is
+	// prepended to the next read so Deltas always end on line boundaries.
+	carry []byte
+}
+
+// Tailer incrementally reads the three growing archives of a data
+// directory. Files may be absent (treated as empty until they appear),
+// grow, or be rotated (truncated/replaced by a smaller file), in which case
+// reading restarts from the top of the new file. Partial trailing lines are
+// held back until the writer completes them. Tailer is not safe for
+// concurrent use.
+type Tailer struct {
+	files [3]tailFile
+}
+
+// NewTailer tails the conventional archive names under dir.
+func NewTailer(dir string) *Tailer {
+	return NewTailerPaths(
+		filepath.Join(dir, AccountingFile),
+		filepath.Join(dir, ApsysFile),
+		filepath.Join(dir, SyslogFile),
+	)
+}
+
+// NewTailerPaths tails explicit archive paths. An empty path disables that
+// archive.
+func NewTailerPaths(accounting, apsys, syslog string) *Tailer {
+	return &Tailer{files: [3]tailFile{
+		{path: accounting},
+		{path: apsys},
+		{path: syslog},
+	}}
+}
+
+// Poll reads whatever every archive has grown since the previous Poll and
+// returns it as a line-aligned Delta. A Delta with no bytes means nothing
+// new arrived.
+func (t *Tailer) Poll() (core.Delta, error) {
+	var d core.Delta
+	for i := range t.files {
+		b, err := t.files[i].read()
+		if err != nil {
+			return core.Delta{}, err
+		}
+		switch i {
+		case 0:
+			d.Accounting = b
+		case 1:
+			d.Apsys = b
+		case 2:
+			d.Syslog = b
+		}
+	}
+	return d, nil
+}
+
+// read returns the new complete lines of one archive.
+func (f *tailFile) read() ([]byte, error) {
+	if f.path == "" {
+		return nil, nil
+	}
+	fh, err := os.Open(f.path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil // not written yet (or rotated away mid-switch)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: tail %s: %w", f.path, err)
+	}
+	defer fh.Close()
+
+	fi, err := fh.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("store: tail %s: %w", f.path, err)
+	}
+	if fi.Size() < f.offset {
+		// Rotation: the file shrank under us. The held-back partial line
+		// belonged to the old file and its completion is gone; drop it and
+		// restart from the top.
+		f.offset = 0
+		f.carry = nil
+	}
+	if fi.Size() == f.offset {
+		return nil, nil
+	}
+	if _, err := fh.Seek(f.offset, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("store: tail %s: %w", f.path, err)
+	}
+	want := fi.Size() - f.offset
+	if want > maxPollBytes {
+		want = maxPollBytes
+	}
+	buf := make([]byte, want)
+	n, err := io.ReadFull(fh, buf)
+	if err != nil && err != io.ErrUnexpectedEOF {
+		return nil, fmt.Errorf("store: tail %s: %w", f.path, err)
+	}
+	buf = buf[:n]
+	f.offset += int64(n)
+
+	// Prepend the held-back fragment, then hold back the new trailing
+	// fragment (bytes after the last newline).
+	if len(f.carry) > 0 {
+		buf = append(f.carry, buf...)
+		f.carry = nil
+	}
+	cut := len(buf)
+	for cut > 0 && buf[cut-1] != '\n' {
+		cut--
+	}
+	if cut < len(buf) {
+		f.carry = append([]byte(nil), buf[cut:]...)
+		buf = buf[:cut]
+	}
+	if len(buf) == 0 {
+		return nil, nil
+	}
+	return buf, nil
+}

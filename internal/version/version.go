@@ -1,0 +1,76 @@
+// Package version reports build provenance for the logdiver binaries: the
+// module version and, when the binary was built from a version-controlled
+// checkout, the VCS revision and dirty bit. Everything comes from
+// runtime/debug.ReadBuildInfo, so no linker flags are required; binaries
+// built with plain `go build` are fully stamped.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the build provenance of the running binary.
+type Info struct {
+	// Module is the main module path ("logdiver").
+	Module string `json:"module"`
+	// Version is the module version ("(devel)" for a source build).
+	Version string `json:"version"`
+	// Revision is the VCS commit hash, empty when built outside a checkout.
+	Revision string `json:"revision,omitempty"`
+	// Time is the VCS commit time (RFC3339), empty when unknown.
+	Time string `json:"time,omitempty"`
+	// Modified reports uncommitted changes in the build checkout.
+	Modified bool `json:"modified,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+// Get reads the running binary's build info. It never fails: binaries
+// without embedded build info (e.g. test binaries of older toolchains)
+// yield an Info with only GoVersion populated.
+func Get() Info {
+	info := Info{GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Module = bi.Main.Path
+	info.Version = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the info on one line, the -version flag output.
+func (i Info) String() string {
+	s := i.Module
+	if s == "" {
+		s = "logdiver"
+	}
+	v := i.Version
+	if v == "" {
+		v = "(devel)"
+	}
+	s += " " + v
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if i.Modified {
+			rev += "+dirty"
+		}
+		s += " " + rev
+	}
+	return fmt.Sprintf("%s (%s)", s, i.GoVersion)
+}

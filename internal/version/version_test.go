@@ -1,0 +1,59 @@
+package version
+
+import (
+	"encoding/json"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestGet(t *testing.T) {
+	i := Get()
+	if i.GoVersion != runtime.Version() {
+		t.Errorf("GoVersion %q, want %q", i.GoVersion, runtime.Version())
+	}
+	// Test binaries embed build info on go1.18+, so the module is known.
+	if i.Module != "logdiver" {
+		t.Errorf("Module %q, want logdiver", i.Module)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		in   Info
+		want string
+	}{
+		{Info{GoVersion: "go1.24.0"}, "logdiver (devel) (go1.24.0)"},
+		{
+			Info{Module: "logdiver", Version: "v1.2.3", GoVersion: "go1.24.0"},
+			"logdiver v1.2.3 (go1.24.0)",
+		},
+		{
+			Info{Module: "logdiver", Version: "(devel)",
+				Revision: "0123456789abcdef", Modified: true, GoVersion: "go1.24.0"},
+			"logdiver (devel) 0123456789ab+dirty (go1.24.0)",
+		},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestJSONShape(t *testing.T) {
+	buf, err := json.Marshal(Info{Module: "logdiver", Version: "(devel)", GoVersion: "go1.24.0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(buf)
+	for _, key := range []string{`"module"`, `"version"`, `"go_version"`} {
+		if !strings.Contains(s, key) {
+			t.Errorf("JSON missing %s: %s", key, s)
+		}
+	}
+	// Empty VCS fields stay out of the payload.
+	if strings.Contains(s, "revision") || strings.Contains(s, "modified") {
+		t.Errorf("JSON carries empty VCS fields: %s", s)
+	}
+}

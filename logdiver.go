@@ -146,6 +146,12 @@ func DefaultGeneratorConfig() GeneratorConfig { return gen.Default() }
 // given number of production days.
 func ScaledGeneratorConfig(days int) GeneratorConfig { return gen.Scaled(days) }
 
+// SmallGeneratorConfig returns a configuration for the small 1,536-node
+// machine with a workload rescaled to fit it: the setup used by the
+// examples, the serving smoke tests and CI, where a few days generate and
+// analyze in seconds.
+func SmallGeneratorConfig(days int) GeneratorConfig { return gen.Small(days) }
+
 // Generate synthesizes a dataset: workload, fault timeline, logs and truth.
 func Generate(cfg GeneratorConfig) (*Dataset, error) { return gen.Generate(cfg) }
 
