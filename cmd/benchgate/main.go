@@ -3,20 +3,26 @@
 //
 // It parses the standard benchmark output format, records every benchmark
 // (best-of-count ns/op, B/op, allocs/op, MB/s) into a JSON report, and
-// compares BenchmarkAnalyze/serial against BenchmarkAnalyze/parallel. When
-// the benchmarks ran at GOMAXPROCS >= the enforcement threshold (default 4),
-// benchgate exits nonzero if the parallel path did not reach the required
-// speedup over the serial path; below the threshold the comparison is
+// compares a gated pair of benchmarks — by default BenchmarkAnalyze/serial
+// (the baseline, the report's serial slot) against BenchmarkAnalyze/parallel
+// (the contender, the parallel slot); -serial-name/-parallel-name repoint
+// the pair, e.g. at BenchmarkRestore/cold vs /warm for the warm-restart
+// gate. When the benchmarks ran at GOMAXPROCS >= the enforcement threshold
+// (default 4), benchgate exits nonzero if the contender did not reach the
+// required speedup over the baseline; below the threshold the comparison is
 // recorded but not enforced, because a speedup cannot materialize without
 // cores (single-core parallel ingestion degrades to the sequential path by
-// design). With -speedup-gate=false the report is still written but the
-// serial/parallel pair is neither required nor compared — for benchmark
-// suites (like the serving benchmarks) that have no such pair.
+// design; pass -min-procs 1 for pairs whose speedup does not come from
+// cores, like warm-vs-cold restart). With -speedup-gate=false the report is
+// still written but the pair is neither required nor compared — for
+// benchmark suites (like the serving benchmarks) that have no such pair.
 //
 // Usage:
 //
 //	go test -bench 'BenchmarkAnalyze|...' -benchtime=1x -count=3 -benchmem | tee bench.txt
 //	benchgate -in bench.txt -out BENCH_ingest.json -min-speedup 1.0
+//	benchgate -in bench.txt -out BENCH_restore.json -min-speedup 1.0 -min-procs 1 \
+//	    -serial-name BenchmarkRestore/cold -parallel-name BenchmarkRestore/warm
 package main
 
 import (
@@ -75,7 +81,9 @@ func realMain() error {
 		out         = flag.String("out", "BENCH_ingest.json", "JSON report path (- for stdout)")
 		minSpeedup  = flag.Float64("min-speedup", 1.0, "required parallel-over-serial speedup when enforcing")
 		minProcs    = flag.Int("min-procs", 4, "enforce the speedup only at GOMAXPROCS >= this")
-		speedupGate = flag.Bool("speedup-gate", true, "require BenchmarkAnalyze/serial vs /parallel and enforce the speedup; disable for benchmark suites without that pair")
+		speedupGate = flag.Bool("speedup-gate", true, "require the gated benchmark pair and enforce the speedup; disable for benchmark suites without that pair")
+		serialName  = flag.String("serial-name", "BenchmarkAnalyze/serial", "benchmark filling the report's serial (baseline) slot")
+		parName     = flag.String("parallel-name", "BenchmarkAnalyze/parallel", "benchmark filling the report's parallel (contender) slot")
 	)
 	flag.Parse()
 
@@ -102,9 +110,9 @@ func realMain() error {
 			rep.Procs = sums[i].Procs
 		}
 		switch sums[i].Name {
-		case "BenchmarkAnalyze/serial":
+		case *serialName:
 			rep.Serial = &sums[i]
-		case "BenchmarkAnalyze/parallel":
+		case *parName:
 			rep.Parallel = &sums[i]
 		}
 	}
@@ -130,17 +138,17 @@ func realMain() error {
 		return nil
 	}
 	if rep.Serial == nil || rep.Parallel == nil {
-		return fmt.Errorf("missing BenchmarkAnalyze/serial or /parallel in input")
+		return fmt.Errorf("missing %s or %s in input", *serialName, *parName)
 	}
-	fmt.Fprintf(os.Stderr, "benchgate: serial %.0f ns/op, parallel %.0f ns/op, speedup %.2fx at GOMAXPROCS=%d\n",
-		rep.Serial.NsPerOp, rep.Parallel.NsPerOp, rep.Speedup, rep.Procs)
+	fmt.Fprintf(os.Stderr, "benchgate: %s %.0f ns/op, %s %.0f ns/op, speedup %.2fx at GOMAXPROCS=%d\n",
+		*serialName, rep.Serial.NsPerOp, *parName, rep.Parallel.NsPerOp, rep.Speedup, rep.Procs)
 	if !rep.Enforced {
 		fmt.Fprintf(os.Stderr, "benchgate: GOMAXPROCS=%d < %d, speedup not enforced\n", rep.Procs, *minProcs)
 		return nil
 	}
 	if rep.Speedup < *minSpeedup {
-		return fmt.Errorf("parallel ingestion regressed: speedup %.2fx < required %.2fx at GOMAXPROCS=%d",
-			rep.Speedup, *minSpeedup, rep.Procs)
+		return fmt.Errorf("%s regressed against %s: speedup %.2fx < required %.2fx at GOMAXPROCS=%d",
+			*parName, *serialName, rep.Speedup, *minSpeedup, rep.Procs)
 	}
 	return nil
 }

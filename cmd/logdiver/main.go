@@ -14,6 +14,7 @@
 //	    [-seed N] [-budget F] [-ops truncate,encoding,...] [-max-per-op N]
 //	logdiver generate -days 30 -out ./archive [-parallelism N] \
 //	    [-machine bluewaters|small] [-start YYYY-MM-DD] [-seed N]
+//	logdiver state -file state.ldv | -state-dir ./state [-json]
 //	logdiver version
 //
 // lint-rules runs the internal/rulecheck semantic linter over a classifier
@@ -41,6 +42,13 @@
 // seconds; -start and -seed let successive invocations produce disjoint
 // production windows, which the serving smoke tests append to a live
 // logdiverd data directory.
+//
+// state inspects and verifies a logdiverd durable-state file (the
+// <state-dir>/state.ldv a daemon warm-starts from): it validates the
+// header, version and checksum exactly as the daemon would and prints the
+// epoch, configuration fingerprint, tail offsets and pipeline population —
+// or fails nonzero with the rejection reason. Use it as a pre-flight check
+// before restarting a production daemon.
 //
 // The analyze subcommand prints the experiment tables (E1-E17, plus the
 // A1-A3 ablations when -truth is given) to stdout, and an archive-hygiene
@@ -98,8 +106,10 @@ func run(args []string) error {
 		return lintRules(args[1:])
 	case "mutate":
 		return mutateCmd(args[1:])
+	case "state":
+		return stateCmd(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want analyze, avail, coalesce, generate, lint-rules or mutate)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want analyze, avail, coalesce, generate, lint-rules, mutate or state)", args[0])
 	}
 }
 

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"logdiver/internal/core"
+	"logdiver/internal/persist"
+	"logdiver/internal/store"
+)
+
+// writeStateFile saves a small but well-formed daemon state file and
+// returns its path.
+func writeStateFile(t *testing.T, dir string) string {
+	t.Helper()
+	st := &persist.State{
+		SavedAt: time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC),
+		Epoch:   7,
+		Fingerprint: persist.Fingerprint{
+			Machine: "small", Nodes: 64, ParseMode: "lenient",
+			Rules: persist.RulesBuiltin, TimeZone: "UTC",
+		},
+		Syncer: &store.SyncerState{
+			Pipeline: &core.IncrementalState{},
+			Tailer: store.TailerState{Files: [3]store.TailFileState{
+				{Offset: 1234, Inode: 42, InodeOK: true},
+				{Offset: 56},
+				{Offset: 78, Carry: []byte("partial")},
+			}},
+			Ingest: store.IngestStats{Rounds: 3, AccountingLines: 10, ApsysLines: 20, SyslogLines: 30},
+		},
+	}
+	path := filepath.Join(dir, persist.StateFile)
+	if err := persist.Save(path, st); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestStateSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	path := writeStateFile(t, dir)
+
+	out := captureStdout(t, func() {
+		if err := run([]string{"state", "-file", path}); err != nil {
+			t.Errorf("state on a valid file failed: %v", err)
+		}
+	})
+	for _, want := range []string{
+		"epoch:      7",
+		"machine=small",
+		"parse-mode=lenient",
+		"3 rounds",
+		"offset=1234",
+		"carry=7B",
+		"checksum ok",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("state output missing %q:\n%s", want, out)
+		}
+	}
+
+	// -state-dir resolves to the directory's state.ldv.
+	dirOut := captureStdout(t, func() {
+		if err := run([]string{"state", "-state-dir", dir}); err != nil {
+			t.Errorf("state -state-dir failed: %v", err)
+		}
+	})
+	if dirOut != out {
+		t.Error("-state-dir output differs from -file output for the same file")
+	}
+}
+
+func TestStateSubcommandJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := writeStateFile(t, dir)
+	out := captureStdout(t, func() {
+		if err := run([]string{"state", "-file", path, "-json"}); err != nil {
+			t.Errorf("state -json failed: %v", err)
+		}
+	})
+	var view struct {
+		Epoch       uint64 `json:"epoch"`
+		Fingerprint struct {
+			Machine string `json:"machine"`
+		} `json:"fingerprint"`
+		Ingest struct {
+			Rounds int `json:"rounds"`
+		} `json:"ingest"`
+		Tailer []struct {
+			Archive string `json:"archive"`
+			Offset  int64  `json:"offset"`
+		} `json:"tailer"`
+	}
+	if err := json.Unmarshal([]byte(out), &view); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if view.Epoch != 7 || view.Fingerprint.Machine != "small" || view.Ingest.Rounds != 3 {
+		t.Errorf("decoded view = %+v, want epoch 7 / machine small / 3 rounds", view)
+	}
+	if len(view.Tailer) != 3 || view.Tailer[0].Archive != "accounting" || view.Tailer[0].Offset != 1234 {
+		t.Errorf("tailer view = %+v", view.Tailer)
+	}
+}
+
+func TestStateSubcommandErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"state"}); err == nil {
+		t.Error("state without -file or -state-dir accepted")
+	}
+	if err := run([]string{"state", "-file", filepath.Join(dir, "missing.ldv")}); err == nil {
+		t.Error("missing state file accepted")
+	}
+	// A corrupted file is rejected with the persist layer's reason.
+	bad := filepath.Join(dir, "bad.ldv")
+	if err := os.WriteFile(bad, []byte("this is not a state file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"state", "-file", bad})
+	if err == nil {
+		t.Fatal("corrupted state file accepted")
+	}
+	if !strings.Contains(err.Error(), bad) {
+		t.Errorf("error %q does not name the file", err)
+	}
+	// A checksum-corrupted but otherwise well-formed file is also rejected.
+	good := writeStateFile(t, dir)
+	data, rerr := os.ReadFile(good)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	data[len(data)-1] ^= 0x40
+	if err := os.WriteFile(good, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"state", "-file", good}); err == nil {
+		t.Error("bit-rotted state file accepted")
+	}
+}

@@ -7,7 +7,7 @@
 //	logdiverd -data-dir ./archive [-listen :8080] [-poll-interval 2s]
 //	    [-machine bluewaters|small] [-parallelism N]
 //	    [-parse-mode lenient|strict] [-rules site-rules.txt] [-tz UTC]
-//	    [-request-timeout 10s]
+//	    [-request-timeout 10s] [-state-dir ./state] [-state-interval 1m]
 //	logdiverd -version
 //
 // The daemon polls -data-dir every -poll-interval for growth of
@@ -18,25 +18,43 @@
 // published under the next epoch. Queries are answered from the latest
 // snapshot without locking; every response carries its epoch.
 //
+// With -state-dir the daemon is durable: after snapshot installs (at most
+// every -state-interval) and again on shutdown it writes its full analysis
+// state — pipeline, tail offsets, epoch — crash-safely to
+// <state-dir>/state.ldv, and on boot it warm-starts from that file in
+// milliseconds instead of re-ingesting history, resuming the tail from the
+// persisted offsets. An unusable state file (torn, corrupted, version-
+// skewed, or written under different configuration) falls back to a cold
+// rebuild in lenient mode and is a startup error in strict mode; either
+// way /v1/health reports the boot provenance under "restore" and /metrics
+// exposes it as logdiver_warm_restart. Inspect a state file offline with
+// `logdiver state`.
+//
 // Endpoints: /v1/health, /v1/outcomes, /v1/scaling?class=xe|xk, /v1/mtti,
 // /v1/categories, /v1/runs/{apid}, and Prometheus text metrics at /metrics.
 //
-// SIGINT/SIGTERM stop the poll loop and drain in-flight requests before
-// exit. Logs are structured JSON on stderr.
+// SIGINT/SIGTERM stop the poll loop, persist the state (when -state-dir is
+// set) and drain in-flight requests before exit. Logs are structured JSON
+// on stderr.
 package main
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log/slog"
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"logdiver"
+	"logdiver/internal/persist"
 	"logdiver/internal/rulecheck"
 	"logdiver/internal/serve"
 	"logdiver/internal/store"
@@ -68,6 +86,8 @@ func run(args []string, onListen func(addr string)) error {
 		timezone    = fs.String("tz", "UTC", "accounting timestamp zone")
 		reqTimeout  = fs.Duration("request-timeout", serve.DefaultRequestTimeout, "per-request deadline for query endpoints")
 		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		stateDir    = fs.String("state-dir", "", "directory for durable state (empty = no persistence, cold rebuild on every start)")
+		stateEvery  = fs.Duration("state-interval", time.Minute, "minimum interval between periodic state persists")
 		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -108,13 +128,14 @@ func run(args []string, onListen func(addr string)) error {
 		return err
 	}
 	opts := logdiver.Options{Parallelism: *par, ParseMode: parseMode}
+	rulesID := persist.RulesBuiltin
 	if *rules != "" {
-		f, err := os.Open(*rules)
+		raw, err := os.ReadFile(*rules)
 		if err != nil {
 			return err
 		}
-		parsed, err := taxonomy.ReadRuleFile(f)
-		f.Close()
+		rulesID = persist.HashRules(raw)
+		parsed, err := taxonomy.ReadRuleFile(bytes.NewReader(raw))
 		if err != nil {
 			return err
 		}
@@ -132,14 +153,64 @@ func run(args []string, onListen func(addr string)) error {
 		}
 	}
 
+	// Durable state: try to warm-start from the state dir. An unusable
+	// state file degrades to a cold rebuild in lenient mode (with the
+	// reason logged and reported) and refuses to start in strict mode.
+	var (
+		statePath string
+		resume    *store.SyncerState
+		restore   = &serve.RestoreInfo{Mode: "cold", Detail: "persistence disabled (no -state-dir)"}
+		fp        persist.Fingerprint
+	)
+	if *stateDir != "" {
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			return fmt.Errorf("state dir: %w", err)
+		}
+		statePath = filepath.Join(*stateDir, persist.StateFile)
+		fp = persist.Fingerprint{
+			Machine:   *machineName,
+			Nodes:     top.NumNodes(),
+			ParseMode: parseMode.String(),
+			Rules:     rulesID,
+			TimeZone:  *timezone,
+		}
+		resume, restore, err = loadState(logger, statePath, fp, parseMode)
+		if err != nil {
+			return err
+		}
+	}
+
 	st := store.New()
-	sy, err := store.NewSyncer(store.SyncerConfig{
+	if restore.Epoch > 0 {
+		// Continue the persisted epoch sequence even on a cold fallback
+		// whose file loaded: clients rely on epochs never going backward
+		// across a restart of the same state dir.
+		if err := st.Restore(restore.Epoch); err != nil {
+			return err
+		}
+	}
+	syCfg := store.SyncerConfig{
 		Tailer:   store.NewTailer(*dataDir),
 		Store:    st,
 		Topology: top,
 		Location: loc,
 		Options:  opts,
-	})
+		Resume:   resume,
+	}
+	sy, err := store.NewSyncer(syCfg)
+	if err != nil && resume != nil {
+		// The file was structurally sound but its state failed restore
+		// validation: same policy as a corrupt file.
+		if parseMode == logdiver.ParseStrict {
+			return fmt.Errorf("state restore: %s: %w (strict mode refuses to guess: delete the state file to rebuild cold, or restart with -parse-mode lenient)", statePath, err)
+		}
+		logger.Warn("state restore failed; rebuilding cold from the archives",
+			"path", statePath, "reason", err.Error())
+		restore = &serve.RestoreInfo{Mode: "cold-fallback", Detail: err.Error(), Epoch: restore.Epoch}
+		syCfg.Resume = nil
+		syCfg.Tailer = store.NewTailer(*dataDir)
+		sy, err = store.NewSyncer(syCfg)
+	}
 	if err != nil {
 		return err
 	}
@@ -147,6 +218,7 @@ func run(args []string, onListen func(addr string)) error {
 		Store:          st,
 		Version:        version.Get(),
 		RequestTimeout: *reqTimeout,
+		Restore:        restore,
 	})
 	if err != nil {
 		return err
@@ -169,6 +241,8 @@ func run(args []string, onListen func(addr string)) error {
 		"machine", *machineName,
 		"poll_interval", poll.String(),
 		"parse_mode", parseMode.String(),
+		"restore", restore.Mode,
+		"restore_epoch", restore.Epoch,
 	)
 
 	// Ingestion loop: one goroutine owns the Syncer; the first round runs
@@ -178,12 +252,14 @@ func run(args []string, onListen func(addr string)) error {
 		defer close(syncDone)
 		tick := time.NewTicker(*poll)
 		defer tick.Stop()
+		var lastPersist time.Time
 		for {
 			installed, err := sy.Sync()
 			if err != nil {
 				// A strict-mode parse failure poisons the pipeline: there
 				// is no way to serve correct numbers past corrupt input,
-				// so surface it and stop the daemon.
+				// so surface it and stop the daemon. The poisoned state is
+				// deliberately NOT persisted.
 				syncDone <- fmt.Errorf("sync: %w", err)
 				return
 			}
@@ -196,9 +272,18 @@ func run(args []string, onListen func(addr string)) error {
 					"reattributed", snap.Ingest.Reattributed,
 					"build_ms", snap.Ingest.BuildDuration.Milliseconds(),
 				)
+				if statePath != "" && time.Since(lastPersist) >= *stateEvery {
+					persistState(logger, sy, st, fp, statePath)
+					lastPersist = time.Now()
+				}
 			}
 			select {
 			case <-ctx.Done():
+				// Final persist on shutdown, interval notwithstanding: the
+				// state on disk should match the last snapshot served.
+				if statePath != "" {
+					persistState(logger, sy, st, fp, statePath)
+				}
 				return
 			case <-tick.C:
 			}
@@ -221,4 +306,60 @@ func run(args []string, onListen func(addr string)) error {
 	}
 	logger.Info("logdiverd stopped")
 	return firstErr
+}
+
+// loadState reads the state file and decides the boot mode. A missing file
+// is a normal cold start. Any other failure — structural corruption,
+// version skew, a configuration fingerprint mismatch — degrades to a cold
+// rebuild in lenient mode (logged, and reported via RestoreInfo) and is a
+// startup error naming the file and reason in strict mode.
+func loadState(logger *slog.Logger, path string, fp persist.Fingerprint, mode logdiver.ParseMode) (*store.SyncerState, *serve.RestoreInfo, error) {
+	ld, err := persist.Load(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, &serve.RestoreInfo{Mode: "cold", Detail: "no state file yet"}, nil
+	}
+	reject := func(reason error) (*store.SyncerState, *serve.RestoreInfo, error) {
+		if mode == logdiver.ParseStrict {
+			return nil, nil, fmt.Errorf("state restore: %w (strict mode refuses to guess: delete the state file to rebuild cold, or restart with -parse-mode lenient)", reason)
+		}
+		logger.Warn("state restore failed; rebuilding cold from the archives",
+			"path", path, "reason", reason.Error())
+		info := &serve.RestoreInfo{Mode: "cold-fallback", Detail: reason.Error()}
+		if ld != nil {
+			info.Epoch = ld.Epoch
+		}
+		return nil, info, nil
+	}
+	if err != nil {
+		return reject(err)
+	}
+	if diff := ld.Fingerprint.Diff(fp); diff != "" {
+		return reject(fmt.Errorf("%s: configuration changed since the state was written: %s", path, diff))
+	}
+	return ld.Syncer, &serve.RestoreInfo{Mode: "warm", Epoch: ld.Epoch, SavedAt: ld.SavedAt}, nil
+}
+
+// persistState exports the syncer and writes the state file crash-safely.
+// Failures are logged, never fatal: a daemon that cannot persist still
+// serves correctly, it just pays a cold rebuild on its next start.
+func persistState(logger *slog.Logger, sy *store.Syncer, st *store.Store, fp persist.Fingerprint, path string) {
+	began := time.Now()
+	sst, err := sy.ExportState()
+	if err == nil {
+		err = persist.Save(path, &persist.State{
+			SavedAt:     time.Now(),
+			Epoch:       st.Epoch(),
+			Fingerprint: fp,
+			Syncer:      sst,
+		})
+	}
+	if err != nil {
+		logger.Warn("state persist failed", "path", path, "error", err.Error())
+		return
+	}
+	logger.Info("state persisted",
+		"path", path,
+		"epoch", st.Epoch(),
+		"took_ms", time.Since(began).Milliseconds(),
+	)
 }

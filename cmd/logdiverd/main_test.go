@@ -46,9 +46,14 @@ func writeDataset(t *testing.T, dir string, offsetDays int, seed int64) *gen.Dat
 }
 
 type health struct {
-	Status string `json:"status"`
-	Epoch  uint64 `json:"epoch"`
-	Runs   int    `json:"runs"`
+	Status  string `json:"status"`
+	Epoch   uint64 `json:"epoch"`
+	Runs    int    `json:"runs"`
+	Restore *struct {
+		Mode   string `json:"mode"`
+		Detail string `json:"detail"`
+		Epoch  uint64 `json:"epoch"`
+	} `json:"restore"`
 }
 
 func getHealth(base string) (health, error) {
@@ -172,6 +177,155 @@ func TestDaemonEndToEnd(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("daemon did not stop on SIGTERM")
 	}
+}
+
+// bootDaemon starts the daemon body with the given extra flags and returns
+// its base URL and exit channel. stop() sends SIGTERM and waits for a clean
+// exit.
+func bootDaemon(t *testing.T, dir string, extra ...string) (base string, stop func()) {
+	t.Helper()
+	args := append([]string{
+		"-listen", "127.0.0.1:0",
+		"-data-dir", dir,
+		"-poll-interval", "100ms",
+		"-machine", "small",
+	}, extra...)
+	addrCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(args, func(addr string) { addrCh <- addr })
+	}()
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case err := <-errCh:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never bound its listener")
+	}
+	return base, func() {
+		t.Helper()
+		if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-errCh:
+			if err != nil {
+				t.Fatalf("daemon exited with error: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("daemon did not stop on SIGTERM")
+		}
+	}
+}
+
+// TestDaemonWarmRestart is the end-to-end durability scenario: run, persist,
+// stop, grow the archives while down, restart — the second life must report
+// a warm restore, continue the epoch sequence, and still pick up the growth.
+func TestDaemonWarmRestart(t *testing.T) {
+	dir, stateDir := t.TempDir(), t.TempDir()
+	ds1 := writeDataset(t, dir, 0, 31)
+
+	// First life: cold (no state file yet), then persists on shutdown.
+	base, stop := bootDaemon(t, dir, "-state-dir", stateDir, "-state-interval", "10ms")
+	h1 := waitFor(t, base, "first snapshot", func(h health) bool {
+		return h.Status == "ok" && h.Runs == len(ds1.Runs)
+	})
+	if h1.Restore == nil || h1.Restore.Mode != "cold" {
+		t.Fatalf("first life restore = %+v, want mode cold", h1.Restore)
+	}
+	stop()
+	if _, err := os.Stat(filepath.Join(stateDir, "state.ldv")); err != nil {
+		t.Fatalf("no state file after shutdown: %v", err)
+	}
+
+	// The archive grows while the daemon is down.
+	writeDataset(t, dir, 2, 32)
+
+	// Second life: warm restore, epoch continues, growth ingested.
+	base2, stop2 := bootDaemon(t, dir, "-state-dir", stateDir)
+	defer stop2()
+	h2 := waitFor(t, base2, "warm snapshot with growth", func(h health) bool {
+		return h.Status == "ok" && h.Runs > len(ds1.Runs)
+	})
+	if h2.Restore == nil || h2.Restore.Mode != "warm" {
+		t.Fatalf("second life restore = %+v, want mode warm", h2.Restore)
+	}
+	if h2.Restore.Epoch != h1.Epoch {
+		t.Errorf("restored epoch %d, want the first life's last epoch %d", h2.Restore.Epoch, h1.Epoch)
+	}
+	if h2.Epoch <= h1.Epoch {
+		t.Errorf("epoch did not continue across restart: %d -> %d", h1.Epoch, h2.Epoch)
+	}
+	resp, err := http.Get(base2 + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(mbody), "logdiver_warm_restart 1") {
+		t.Errorf("metrics missing warm-restart gauge:\n%s", mbody)
+	}
+}
+
+// TestDaemonRestoreFallback is the crash-injection policy at daemon level:
+// an unusable state file must cold-rebuild (with provenance) in lenient
+// mode and refuse to start in strict mode — never crash, never serve wrong
+// numbers.
+func TestDaemonRestoreFallback(t *testing.T) {
+	dir := t.TempDir()
+	ds := writeDataset(t, dir, 0, 31)
+
+	corrupt := func(t *testing.T) string {
+		stateDir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(stateDir, "state.ldv"), []byte("not a state file"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return stateDir
+	}
+
+	t.Run("lenient-falls-back-cold", func(t *testing.T) {
+		base, stop := bootDaemon(t, dir, "-state-dir", corrupt(t))
+		defer stop()
+		h := waitFor(t, base, "cold rebuild", func(h health) bool {
+			return h.Status == "ok" && h.Runs == len(ds.Runs)
+		})
+		if h.Restore == nil || h.Restore.Mode != "cold-fallback" || h.Restore.Detail == "" {
+			t.Fatalf("restore = %+v, want cold-fallback with a reason", h.Restore)
+		}
+	})
+
+	t.Run("strict-refuses", func(t *testing.T) {
+		err := run([]string{
+			"-listen", "127.0.0.1:0",
+			"-data-dir", dir,
+			"-machine", "small",
+			"-parse-mode", "strict",
+			"-state-dir", corrupt(t),
+		}, nil)
+		if err == nil || !strings.Contains(err.Error(), "state.ldv") {
+			t.Fatalf("strict boot over corrupt state: err = %v, want provenance error naming the file", err)
+		}
+	})
+
+	t.Run("strict-refuses-fingerprint-skew", func(t *testing.T) {
+		// A valid state written under lenient mode must not restore into a
+		// strict daemon: the fingerprint pins the parse policy.
+		stateDir := t.TempDir()
+		base, stop := bootDaemon(t, dir, "-state-dir", stateDir, "-state-interval", "10ms")
+		waitFor(t, base, "snapshot", func(h health) bool { return h.Status == "ok" && h.Runs > 0 })
+		stop()
+		err := run([]string{
+			"-listen", "127.0.0.1:0",
+			"-data-dir", dir,
+			"-machine", "small",
+			"-parse-mode", "strict",
+			"-state-dir", stateDir,
+		}, nil)
+		if err == nil || !strings.Contains(err.Error(), "parse mode") {
+			t.Fatalf("strict boot over lenient state: err = %v, want fingerprint mismatch", err)
+		}
+	})
 }
 
 func TestDaemonFlagValidation(t *testing.T) {

@@ -1,0 +1,189 @@
+// Command mdcheck is a dependency-free markdown link checker for the
+// repository's documentation set.
+//
+// Usage:
+//
+//	mdcheck README.md DESIGN.md OPERATIONS.md EXPERIMENTS.md
+//
+// For every inline link or image `[text](target)` it verifies that
+//
+//   - a relative path target resolves to an existing file or directory
+//     (relative to the markdown file's own directory), and
+//   - a `#fragment` target — bare or attached to a relative .md path —
+//     names a real heading in the target document, using GitHub's
+//     heading-to-anchor slug rules (lowercase, punctuation stripped,
+//     spaces to dashes, -N suffixes for duplicates).
+//
+// External targets (http, https, mailto) are deliberately NOT fetched:
+// CI must not fail on someone else's outage. Targets climbing out of the
+// document's directory ("../...") are skipped too — GitHub renders those
+// as site-relative routes (the `../../actions/...` CI-badge idiom), not
+// as files of this repository. Links inside fenced code blocks and
+// inline code spans are ignored. Findings print as file:line: message,
+// and any finding makes the command exit 1.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mdcheck <file.md> [file.md ...]")
+		os.Exit(2)
+	}
+	problems := 0
+	for _, path := range os.Args[1:] {
+		findings, err := checkFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdcheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			problems++
+		}
+	}
+	if problems > 0 {
+		fmt.Fprintf(os.Stderr, "mdcheck: %d broken link(s)\n", problems)
+		os.Exit(1)
+	}
+}
+
+// linkRE matches inline links and images. Targets with spaces or nested
+// parens are out of scope (the repo's docs do not use them).
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^()\s]+)(?:\s+"[^"]*")?\)`)
+
+// checkFile returns one finding string per broken link in path.
+func checkFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(path)
+	var findings []string
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatchIndex(stripCodeSpans(line), -1) {
+			target := stripCodeSpans(line)[m[2]:m[3]]
+			if msg := checkTarget(dir, path, target); msg != "" {
+				findings = append(findings, fmt.Sprintf("%s:%d: %s", path, i+1, msg))
+			}
+		}
+	}
+	return findings, nil
+}
+
+// stripCodeSpans blanks out `inline code` so link-looking text inside it is
+// not checked. Lengths are preserved so indexes still line up.
+func stripCodeSpans(line string) string {
+	out := []byte(line)
+	inSpan := false
+	for i := 0; i < len(out); i++ {
+		if out[i] == '`' {
+			inSpan = !inSpan
+			continue
+		}
+		if inSpan {
+			out[i] = ' '
+		}
+	}
+	return string(out)
+}
+
+// checkTarget validates one link target and returns a problem description,
+// or "" when the target resolves.
+func checkTarget(dir, srcPath, target string) string {
+	switch {
+	case strings.HasPrefix(target, "http://"),
+		strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"):
+		return "" // external: not checked
+	case strings.HasPrefix(target, "../"):
+		return "" // site-relative route (GitHub badge idiom): not a repo file
+	}
+	file, frag, _ := strings.Cut(target, "#")
+	resolved := srcPath
+	if file != "" {
+		resolved = filepath.Join(dir, file)
+		if _, err := os.Stat(resolved); err != nil {
+			return fmt.Sprintf("broken link %q: %s does not exist", target, resolved)
+		}
+	}
+	if frag == "" {
+		return ""
+	}
+	if !strings.HasSuffix(resolved, ".md") {
+		return "" // anchors into non-markdown files are not checkable
+	}
+	anchors, err := headingAnchors(resolved)
+	if err != nil {
+		return fmt.Sprintf("broken link %q: %v", target, err)
+	}
+	if !anchors[frag] {
+		return fmt.Sprintf("broken link %q: no heading with anchor #%s in %s", target, frag, resolved)
+	}
+	return ""
+}
+
+// headingAnchors returns the set of GitHub-style anchors for the headings
+// of a markdown file.
+func headingAnchors(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	anchors := make(map[string]bool)
+	counts := make(map[string]int)
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimLeft(line, "#")
+		if text == line || (text != "" && text[0] != ' ' && text[0] != '\t') {
+			continue // not a heading ("#foo" needs a space to be one)
+		}
+		slug := slugify(strings.TrimSpace(text))
+		if n := counts[slug]; n > 0 {
+			anchors[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			anchors[slug] = true
+		}
+		counts[slug]++
+	}
+	return anchors, nil
+}
+
+// slugify converts a heading to its GitHub anchor: lowercase, markdown
+// emphasis/code markers and punctuation removed, spaces to dashes.
+func slugify(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+		// Everything else (punctuation, backticks, slashes) is dropped.
+	}
+	return b.String()
+}

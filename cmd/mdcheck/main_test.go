@@ -1,0 +1,116 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckFileCleanDocument(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "other.md"), "# Other Doc\n\n## A Sub-Section!\n")
+	write(t, filepath.Join(dir, "code.go"), "package x\n")
+	doc := strings.Join([]string{
+		"# Title",
+		"",
+		"See [other](other.md) and [its section](other.md#a-sub-section).",
+		"Self link: [above](#title). External: [go](https://go.dev).",
+		"A [source file](code.go) and a [dir](.) link.",
+		"",
+		"```",
+		"[not a link](missing.md)",
+		"```",
+		"And `[also not](gone.md)` inline code.",
+	}, "\n")
+	main := filepath.Join(dir, "main.md")
+	write(t, main, doc)
+	findings, err := checkFile(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+func TestCheckFileBrokenLinks(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "other.md"), "# Other\n")
+	doc := strings.Join([]string{
+		"# Title",
+		"[missing file](nope.md)",
+		"[missing anchor](other.md#no-such-heading)",
+		"[missing self anchor](#nowhere)",
+	}, "\n")
+	main := filepath.Join(dir, "main.md")
+	write(t, main, doc)
+	findings, err := checkFile(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 3 {
+		t.Fatalf("got %d findings, want 3:\n%s", len(findings), strings.Join(findings, "\n"))
+	}
+	for i, want := range []string{"main.md:2", "main.md:3", "main.md:4"} {
+		if !strings.Contains(findings[i], want) {
+			t.Errorf("finding %d = %q, want position %s", i, findings[i], want)
+		}
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"Simple Heading":        "simple-heading",
+		"With `code` & Symbols": "with-code--symbols",
+		"/v1/health":            "v1health",
+		"state-dir Layout":      "state-dir-layout",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDuplicateHeadingAnchors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dup.md")
+	write(t, path, "# Setup\n\n## Setup\n\n## Setup\n")
+	anchors, err := headingAnchors(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"setup", "setup-1", "setup-2"} {
+		if !anchors[want] {
+			t.Errorf("anchor %q missing; have %v", want, anchors)
+		}
+	}
+}
+
+func TestRepoDocsLinkClean(t *testing.T) {
+	// The same invariant the CI link-check step enforces: the operator and
+	// design docs must not contain broken relative links.
+	root := "../.."
+	for _, name := range []string{"README.md", "DESIGN.md", "OPERATIONS.md", "EXPERIMENTS.md", "ROADMAP.md"} {
+		path := filepath.Join(root, name)
+		if _, err := os.Stat(path); err != nil {
+			t.Errorf("doc %s missing: %v", name, err)
+			continue
+		}
+		findings, err := checkFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s", f)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+// Durable-state export/restore for the incremental pipeline. The state is a
+// plain data struct (exported fields, no function values, no unexported
+// cycles) so internal/persist can serialize it; configuration — topology,
+// location, Options including the classifier — is deliberately NOT part of
+// the state. The restoring process supplies its own configuration and the
+// persistence layer fingerprints it, so a state file can never smuggle a
+// different taxonomy or parse policy into a restarted daemon.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"logdiver/internal/alps"
+	"logdiver/internal/correlate"
+	"logdiver/internal/errlog"
+	"logdiver/internal/machine"
+	"logdiver/internal/parse"
+	"logdiver/internal/wlm"
+)
+
+// IncrementalState is the serializable resume state of an Incremental: the
+// two assemblers' half-open records, the classified event stream, cumulative
+// parse stats with absolute line provenance, the per-archive line bases, and
+// the attribution carry (attr + dirty-job/min-new window bookkeeping).
+// Restoring it and appending a delta is equivalent to having appended the
+// same delta to the original pipeline.
+type IncrementalState struct {
+	// Jobs is the accounting assembler's job table (wlm.Assembler.State).
+	Jobs []wlm.Job
+	// Alps is the apsys assembler state, including completion order.
+	Alps alps.AssemblerState
+	// Events is the classified event stream in append order (pre-dedup).
+	Events []errlog.Event
+	// Stats is the cumulative ParseStats across all appends.
+	Stats ParseStats
+	// LineBase holds raw lines consumed per archive, in the fixed order
+	// accounting, apsys, syslog; it keeps restored provenance absolute.
+	LineBase [3]int
+	// Attr is the attribution of the last Result call, mirroring
+	// Alps.Done's completion order (len(Attr) <= len(Alps.Done)).
+	Attr []correlate.AttributedRun
+	// DirtyJobs, MinNew and HaveNew carry the re-attribution window of
+	// appends not yet folded into a Result (normally empty: the daemon
+	// persists after sync rounds, which always materialize a Result).
+	DirtyJobs []string
+	MinNew    time.Time
+	HaveNew   bool
+	// LastRedo is the re-attribution count of the last Result.
+	LastRedo int
+}
+
+// State exports the pipeline for persistence. A poisoned pipeline (failed
+// strict-mode append) has no resumable state and returns its error: the
+// archive position of the failure is unrecoverable, so persisting it would
+// checkpoint a pipeline that can never make progress.
+func (inc *Incremental) State() (*IncrementalState, error) {
+	if inc.err != nil {
+		return nil, fmt.Errorf("core: cannot persist poisoned pipeline: %w", inc.err)
+	}
+	st := &IncrementalState{
+		Jobs:     inc.wlmAsm.State(),
+		Alps:     inc.alpsAsm.State(),
+		Events:   append([]errlog.Event(nil), inc.events...),
+		Stats:    inc.stats,
+		LineBase: inc.lineBase,
+		Attr:     append([]correlate.AttributedRun(nil), inc.attr...),
+		MinNew:   inc.minNew,
+		HaveNew:  inc.haveNew,
+		LastRedo: inc.lastRedo,
+	}
+	if len(inc.dirtyJobs) > 0 {
+		st.DirtyJobs = make([]string, 0, len(inc.dirtyJobs))
+		for id := range inc.dirtyJobs {
+			st.DirtyJobs = append(st.DirtyJobs, id)
+		}
+		sort.Strings(st.DirtyJobs)
+	}
+	return st, nil
+}
+
+// RestoreIncremental rebuilds a pipeline from a persisted state under the
+// caller's configuration (same semantics as NewIncremental). Structural
+// invariants are validated — attribution cannot outrun completion, line
+// bases cannot be negative — so a corrupt state surfaces here instead of as
+// skewed analysis output.
+func RestoreIncremental(top *machine.Topology, loc *time.Location, opts Options, st *IncrementalState) (*Incremental, error) {
+	if st == nil {
+		return nil, fmt.Errorf("core: nil incremental state")
+	}
+	inc, err := NewIncremental(top, loc, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Attr) > len(st.Alps.Done) {
+		return nil, fmt.Errorf("core: restore: %d attributions for %d completed runs", len(st.Attr), len(st.Alps.Done))
+	}
+	for i, b := range st.LineBase {
+		if b < 0 {
+			return nil, fmt.Errorf("core: restore: negative line base %d for archive %d", b, i)
+		}
+	}
+	wlmAsm, err := wlm.RestoreAssembler(st.Jobs)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore: %w", err)
+	}
+	alpsAsm, err := alps.RestoreAssembler(st.Alps)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore: %w", err)
+	}
+	alpsAsm.SetLenient(inc.opts.ParseMode == parse.Lenient)
+	inc.wlmAsm = wlmAsm
+	inc.alpsAsm = alpsAsm
+	inc.events = append([]errlog.Event(nil), st.Events...)
+	inc.stats = st.Stats
+	inc.lineBase = st.LineBase
+	inc.attr = append([]correlate.AttributedRun(nil), st.Attr...)
+	for _, id := range st.DirtyJobs {
+		inc.dirtyJobs[id] = struct{}{}
+	}
+	inc.minNew = st.MinNew
+	inc.haveNew = st.HaveNew
+	inc.lastRedo = st.LastRedo
+	return inc, nil
+}

@@ -13,6 +13,10 @@
 //     hot path a stray per-call compile dominates the profile; patterns
 //     belong in package-level var blocks. Intentional call-site compiles
 //     are annotated //ldvet:allow regexp-compile.
+//   - packagedoc: packages without a package doc comment. The repo's
+//     documentation (DESIGN.md module table, OPERATIONS.md) leans on godoc
+//     staying truthful; a package that never introduces itself is where
+//     that contract starts to rot.
 //
 // The framework mirrors the golang.org/x/tools/go/analysis API surface
 // (Analyzer, Pass, Diagnostic, a multichecker driver in cmd/ldvet, and a
@@ -113,7 +117,7 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnost
 
 // Analyzers returns all analyzers the multichecker runs.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Exhaustive, RegexpCompile}
+	return []*Analyzer{Exhaustive, PackageDoc, RegexpCompile}
 }
 
 // hasMarker reports whether a //ldvet:... marker comment containing the

@@ -30,6 +30,14 @@ func TestRegexpCompile(t *testing.T) {
 	checkWants(t, "regexpcompile", ldvet.RegexpCompile)
 }
 
+func TestPackageDoc(t *testing.T) {
+	// A directive-only comment above a package clause does not count as
+	// documentation; the diagnostic fires once, on the first file.
+	checkWants(t, "packagedoc", ldvet.PackageDoc)
+	// One documented file covers the whole package.
+	checkWants(t, "packagedocok", ldvet.PackageDoc)
+}
+
 // TestRepoClean runs the full analyzer suite over this repository and
 // requires zero diagnostics — the same invariant the CI lint job enforces
 // via cmd/ldvet. If this fails after adding a switch or a MustCompile call,

@@ -1,0 +1,58 @@
+package ldvet
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// PackageDoc flags packages without a package doc comment. The module's
+// documentation contract (DESIGN.md's module table, OPERATIONS.md) leans on
+// godoc: every internal package and both binaries must open with a package
+// comment explaining what the package is for, or the table drifts from the
+// code the first time someone greps for a package that never introduced
+// itself. The check is presence-only — content is reviewed by humans — but
+// a comment consisting solely of //go:directive or //nolint-style marker
+// lines does not count.
+var PackageDoc = &Analyzer{
+	Name: "packagedoc",
+	Doc: "flag packages that lack a package doc comment; every package must\n" +
+		"open with a `// Package x ...` (or `// Command x ...`) comment",
+	Run: runPackageDoc,
+}
+
+func runPackageDoc(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		if docText(file.Doc) != "" {
+			return // some file documents the package: done
+		}
+	}
+	if len(pass.Pkg.Files) == 0 {
+		return
+	}
+	// Anchor the diagnostic on the package clause of the first file (the
+	// loader appends files in sorted order, so this is stable).
+	first := pass.Pkg.Files[0]
+	pass.Reportf(first.Package,
+		"package %s has no package doc comment; add one above a package clause (conventionally `// Package %s ...`)",
+		first.Name.Name, first.Name.Name)
+}
+
+// docText returns the doc comment's effective text: directive-only comments
+// (//go:build, //go:generate, //ldvet:... markers) do not document anything
+// and count as absent.
+func docText(doc *ast.CommentGroup) string {
+	if doc == nil {
+		return ""
+	}
+	var parts []string
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		text = strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+		text = strings.TrimSpace(text)
+		if text == "" || strings.HasPrefix(text, "go:") || strings.HasPrefix(text, "ldvet:") {
+			continue
+		}
+		parts = append(parts, text)
+	}
+	return strings.Join(parts, " ")
+}

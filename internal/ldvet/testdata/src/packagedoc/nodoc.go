@@ -1,0 +1,3 @@
+package wanttest // want `package wanttest has no package doc comment`
+
+func unused() {}

@@ -1,0 +1,2 @@
+//go:generate true
+package wanttest

@@ -1,0 +1,3 @@
+package wanttest
+
+func unused() {}

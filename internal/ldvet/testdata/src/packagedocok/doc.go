@@ -1,0 +1,3 @@
+// Package wanttest is documented, so packagedoc stays silent even though
+// the other file in the package has a bare package clause.
+package wanttest

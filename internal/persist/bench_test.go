@@ -1,0 +1,81 @@
+package persist
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"logdiver/internal/core"
+	"logdiver/internal/store"
+)
+
+// BenchmarkRestore measures what a daemon restart costs with and without
+// durable state over the same archives: "cold" rebuilds the analysis from
+// the raw archives (the pre-persistence behavior), "warm" loads the state
+// file and resumes. cmd/benchgate gates warm strictly faster than cold
+// (BENCH_restore.json; -serial-name BenchmarkRestore/cold -parallel-name
+// BenchmarkRestore/warm -min-procs 1 — the speedup comes from skipping
+// re-ingestion, not from cores). Both paths end with an installed snapshot
+// covering every run, asserted each iteration.
+func BenchmarkRestore(b *testing.B) {
+	dir, stateDir := b.TempDir(), b.TempDir()
+	statePath := filepath.Join(stateDir, StateFile)
+	ds := smallDataset(b, 0, 21)
+	writeArchives(b, dir, ds)
+	firstLife(b, dir, statePath, ds, 0)
+
+	checkSnap := func(b *testing.B, st *store.Store) {
+		b.Helper()
+		snap := st.Current()
+		if snap == nil || snap.Outcomes.Total != len(ds.Runs) {
+			b.Fatalf("restart produced a wrong snapshot: %+v", snap)
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st := store.New()
+			sy, err := store.NewSyncer(store.SyncerConfig{
+				Tailer:   store.NewTailer(dir),
+				Store:    st,
+				Topology: ds.Topology,
+				Location: time.UTC,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sy.Sync(); err != nil {
+				b.Fatal(err)
+			}
+			checkSnap(b, st)
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			loaded, err := Load(statePath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := store.New()
+			if err := st.Restore(loaded.Epoch); err != nil {
+				b.Fatal(err)
+			}
+			sy, err := store.NewSyncer(store.SyncerConfig{
+				Tailer:   store.NewTailer(dir),
+				Store:    st,
+				Topology: ds.Topology,
+				Location: time.UTC,
+				Resume:   loaded.Syncer,
+				Options:  core.Options{},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sy.Sync(); err != nil {
+				b.Fatal(err)
+			}
+			checkSnap(b, st)
+		}
+	})
+}

@@ -33,12 +33,35 @@ const (
 	DefaultMaxBodyBytes = 4096
 )
 
+// RestoreInfo describes how the daemon's analysis state came to be at
+// boot. It is fixed at startup and reported verbatim by /v1/health and as
+// the logdiver_warm_restart gauge, so an operator can always tell whether
+// the numbers they are reading were carried over a restart or rebuilt.
+type RestoreInfo struct {
+	// Mode is "warm" (state restored from disk), "cold" (no usable prior
+	// state: persistence disabled or no state file yet), or
+	// "cold-fallback" (a state file existed but was rejected; Detail says
+	// why, and the history was re-ingested from the archives).
+	Mode string `json:"mode"`
+	// Detail elaborates: the rejection reason for cold-fallback, the
+	// absence reason for cold.
+	Detail string `json:"detail,omitempty"`
+	// Epoch is the snapshot epoch carried over from the state file (warm
+	// and, when the file loaded but its pipeline was rejected, cold-fallback).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// SavedAt is when the restored state file was written (warm only).
+	SavedAt time.Time `json:"saved_at,omitempty"`
+}
+
 // Config wires a Server.
 type Config struct {
 	// Store supplies snapshots. Required.
 	Store *store.Store
 	// Version is reported by /v1/health.
 	Version version.Info
+	// Restore, when non-nil, reports the boot provenance on /v1/health and
+	// /metrics.
+	Restore *RestoreInfo
 	// RequestTimeout bounds each request end to end (DefaultRequestTimeout
 	// when zero). Requests over budget get 503.
 	RequestTimeout time.Duration
@@ -192,6 +215,9 @@ type healthResponse struct {
 	// malformed counters plus the pairing anomalies (duplicate starts,
 	// clamped runs, unmatched exits).
 	Parse []core.ArchiveHygiene `json:"parse"`
+	// Restore is the boot provenance (warm/cold/cold-fallback), when the
+	// daemon reports one.
+	Restore *RestoreInfo `json:"restore,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -213,6 +239,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Version: s.cfg.Version,
 		Ingest:  snap.Ingest,
 		Parse:   snap.Result.Parse.Hygiene(),
+		Restore: s.cfg.Restore,
 	}
 	if !snap.Result.Start.IsZero() {
 		resp.Span = fmt.Sprintf("%s .. %s",
@@ -484,6 +511,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if last, ok := s.cfg.Store.LastSync(); ok {
 		gauges["logdiver_ingest_lag_seconds"] = s.cfg.Now().Sub(last).Seconds()
+	}
+	if s.cfg.Restore != nil {
+		// 1 when this process warm-started from persisted state, 0 when it
+		// rebuilt cold (including fallback after a rejected state file).
+		var warm float64
+		if s.cfg.Restore.Mode == "warm" {
+			warm = 1
+		}
+		gauges["logdiver_warm_restart"] = warm
 	}
 	s.prom.render(w, gauges)
 }

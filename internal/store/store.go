@@ -1,6 +1,7 @@
 package store
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 )
@@ -39,6 +40,18 @@ func (st *Store) Install(s *Snapshot) uint64 {
 // Epoch returns the epoch of the latest installed snapshot (0 before the
 // first Install).
 func (st *Store) Epoch() uint64 { return st.epoch.Load() }
+
+// Restore seeds the epoch counter from persisted state so the first Install
+// after a warm restart continues the sequence (epoch+1) instead of
+// restarting at 1. Readers rely on epochs being monotonic across the life
+// of a state directory. Restore must run before the first Install.
+func (st *Store) Restore(epoch uint64) error {
+	if st.cur.Load() != nil || st.epoch.Load() != 0 {
+		return fmt.Errorf("store: restore into a store that already installed snapshots")
+	}
+	st.epoch.Store(epoch)
+	return nil
+}
 
 // MarkSync records a completed ingestion poll at t.
 func (st *Store) MarkSync(t time.Time) { st.lastSync.Store(t.UnixNano()) }

@@ -20,6 +20,11 @@ type SyncerConfig struct {
 	Location *time.Location
 	// Options follows core.Analyze semantics (zero value = study defaults).
 	Options core.Options
+	// Resume, when non-nil, warm-starts the syncer from persisted state:
+	// the pipeline picks up its assemblers and attribution carry, the
+	// tailer its offsets, and the ingest counters their history. The
+	// configuration above still governs — Resume carries data, not policy.
+	Resume *SyncerState
 	// Now injects the clock (time.Now when nil); tests pin it.
 	Now func() time.Time
 }
@@ -46,7 +51,20 @@ func NewSyncer(cfg SyncerConfig) (*Syncer, error) {
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("store: nil store")
 	}
-	inc, err := core.NewIncremental(cfg.Topology, cfg.Location, cfg.Options)
+	var (
+		inc *core.Incremental
+		err error
+		ing IngestStats
+	)
+	if cfg.Resume != nil {
+		inc, err = core.RestoreIncremental(cfg.Topology, cfg.Location, cfg.Options, cfg.Resume.Pipeline)
+		if err == nil {
+			err = cfg.Tailer.RestoreState(cfg.Resume.Tailer)
+		}
+		ing = cfg.Resume.Ingest
+	} else {
+		inc, err = core.NewIncremental(cfg.Topology, cfg.Location, cfg.Options)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -60,6 +78,7 @@ func NewSyncer(cfg SyncerConfig) (*Syncer, error) {
 		store: cfg.Store,
 		top:   cfg.Topology,
 		now:   now,
+		ing:   ing,
 	}, nil
 }
 

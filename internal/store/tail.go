@@ -31,6 +31,13 @@ type tailFile struct {
 	// carry holds a trailing partial line read but not yet released; it is
 	// prepended to the next read so Deltas always end on line boundaries.
 	carry []byte
+	// inode identifies the file the offset belongs to (inodeOK false on
+	// platforms without stable file IDs). It catches rotation to a file that
+	// is not smaller than the old one — in particular rotation while the
+	// process was down, where the size heuristic alone would silently resume
+	// mid-way into unrelated content.
+	inode   uint64
+	inodeOK bool
 }
 
 // Tailer incrementally reads the three growing archives of a data
@@ -102,13 +109,21 @@ func (f *tailFile) read() ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: tail %s: %w", f.path, err)
 	}
-	if fi.Size() < f.offset {
-		// Rotation: the file shrank under us. The held-back partial line
-		// belonged to the old file and its completion is gone; drop it and
-		// restart from the top.
+	id, idOK := fileID(fi)
+	rotated := fi.Size() < f.offset
+	if !rotated && idOK && f.inodeOK && id != f.inode {
+		// Same-or-larger replacement file: the size heuristic is blind to
+		// it, but the identity changed, so the offset refers to bytes of a
+		// file that no longer exists.
+		rotated = true
+	}
+	if rotated {
+		// Rotation: the held-back partial line belonged to the old file and
+		// its completion is gone; drop it and restart from the top.
 		f.offset = 0
 		f.carry = nil
 	}
+	f.inode, f.inodeOK = id, idOK
 	if fi.Size() == f.offset {
 		return nil, nil
 	}

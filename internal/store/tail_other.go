@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+import "io/fs"
+
+// fileID has no stable file identity to offer on this platform; the tailer
+// falls back to size-only rotation detection.
+func fileID(fs.FileInfo) (uint64, bool) { return 0, false }

@@ -1,0 +1,18 @@
+//go:build unix
+
+package store
+
+import (
+	"io/fs"
+	"syscall"
+)
+
+// fileID returns a stable identity for the file behind fi (the inode
+// number), so the tailer can detect rotation to a replacement file that is
+// not smaller than the original.
+func fileID(fi fs.FileInfo) (uint64, bool) {
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return st.Ino, true
+	}
+	return 0, false
+}

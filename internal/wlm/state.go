@@ -1,0 +1,26 @@
+package wlm
+
+import "fmt"
+
+// State exports the assembler's job table for persistence, sorted like Jobs.
+// Job IDs are unique (they key the internal map), so the sorted slice is a
+// lossless representation of the assembler.
+func (a *Assembler) State() []Job { return a.Jobs() }
+
+// RestoreAssembler rebuilds an assembler from persisted jobs. Duplicate job
+// IDs mean the state is corrupt (the live assembler keys its table by ID and
+// cannot produce them) and are rejected.
+func RestoreAssembler(jobs []Job) (*Assembler, error) {
+	a := NewAssembler()
+	for _, j := range jobs {
+		if j.ID == "" {
+			return nil, fmt.Errorf("wlm: restore: job with empty id")
+		}
+		if _, dup := a.jobs[j.ID]; dup {
+			return nil, fmt.Errorf("wlm: restore: duplicate job id %q", j.ID)
+		}
+		job := j
+		a.jobs[j.ID] = &job
+	}
+	return a, nil
+}
