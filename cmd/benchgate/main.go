@@ -17,10 +17,28 @@
 // still written but the pair is neither required nor compared — for
 // benchmark suites (like the serving benchmarks) that have no such pair.
 //
+// Beyond the speedup pair, two absolute per-benchmark gates catch
+// regressions that a relative comparison cannot: -min-mbps sets MB/s floors
+// and -max-allocs sets allocs/op ceilings. Both take comma-separated
+// name=value pairs (a bare value applies to the serial benchmark), are
+// recorded into the report's per-benchmark entries (min_mbps / max_allocs),
+// and fail the run when violated — allocation ceilings unconditionally
+// (alloc counts are hardware-independent), throughput floors likewise since
+// the committed floor is chosen to hold on the slowest supported runner.
+// -gates-from re-reads the gates recorded in a previous report, so CI can
+// enforce exactly what the committed BENCH_*.json baseline promises;
+// explicit flags override per benchmark.
+//
+// -compare diffs the new numbers against a previous report and writes a
+// benchstat-style old-vs-new table (ns/op, MB/s, allocs/op deltas) for
+// upload as a workflow artifact. The comparison never fails the run — the
+// gates do that.
+//
 // Usage:
 //
 //	go test -bench 'BenchmarkAnalyze|...' -benchtime=1x -count=3 -benchmem | tee bench.txt
-//	benchgate -in bench.txt -out BENCH_ingest.json -min-speedup 1.0
+//	benchgate -in bench.txt -out BENCH_ingest.json -min-speedup 1.0 \
+//	    -gates-from BENCH_ingest.json -compare BENCH_ingest.json -compare-out bench_compare.txt
 //	benchgate -in bench.txt -out BENCH_restore.json -min-speedup 1.0 -min-procs 1 \
 //	    -serial-name BenchmarkRestore/cold -parallel-name BenchmarkRestore/warm
 package main
@@ -32,8 +50,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // run is one benchmark line: a name, an iteration count and metric pairs.
@@ -46,7 +66,8 @@ type run struct {
 
 // summary is the per-benchmark aggregate written to the report: the best
 // (minimum) ns/op across -count repetitions, with the other metrics taken
-// from that fastest run.
+// from that fastest run. MinMBPerSec/MaxAllocs record the absolute gates
+// this benchmark was (and must keep being) held to.
 type summary struct {
 	Name        string  `json:"name"`
 	Procs       int     `json:"procs"`
@@ -55,6 +76,8 @@ type summary struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	MinMBPerSec float64 `json:"min_mbps,omitempty"`
+	MaxAllocs   float64 `json:"max_allocs,omitempty"`
 }
 
 // report is the BENCH_ingest.json schema.
@@ -84,6 +107,11 @@ func realMain() error {
 		speedupGate = flag.Bool("speedup-gate", true, "require the gated benchmark pair and enforce the speedup; disable for benchmark suites without that pair")
 		serialName  = flag.String("serial-name", "BenchmarkAnalyze/serial", "benchmark filling the report's serial (baseline) slot")
 		parName     = flag.String("parallel-name", "BenchmarkAnalyze/parallel", "benchmark filling the report's parallel (contender) slot")
+		minMBps     = flag.String("min-mbps", "", "per-benchmark MB/s floors, comma-separated name=value pairs (bare value applies to -serial-name); recorded into the report and enforced")
+		maxAllocs   = flag.String("max-allocs", "", "per-benchmark allocs/op ceilings, same syntax as -min-mbps; recorded into the report and enforced")
+		gatesFrom   = flag.String("gates-from", "", "previous report whose recorded min_mbps/max_allocs gates to enforce; explicit flags override per benchmark")
+		compare     = flag.String("compare", "", "previous report to diff against; writes a benchstat-style old-vs-new table")
+		compareOut  = flag.String("compare-out", "-", "comparison table path (- for stdout)")
 	)
 	flag.Parse()
 
@@ -102,6 +130,15 @@ func realMain() error {
 	}
 	if len(sums) == 0 {
 		return fmt.Errorf("no benchmark lines found in %s", *in)
+	}
+
+	gates, err := collectGates(*gatesFrom, *minMBps, *maxAllocs, *serialName)
+	if err != nil {
+		return err
+	}
+	gateErrs, err := applyGates(sums, gates)
+	if err != nil {
+		return err
 	}
 
 	rep := report{MinSpeedup: *minSpeedup, Benchmarks: sums}
@@ -132,6 +169,19 @@ func realMain() error {
 		return err
 	}
 
+	if *compare != "" {
+		if err := writeComparison(*compare, sums, *compareOut); err != nil {
+			return err
+		}
+	}
+
+	for _, ge := range gateErrs {
+		fmt.Fprintln(os.Stderr, "benchgate:", ge)
+	}
+	if len(gateErrs) > 0 {
+		return fmt.Errorf("%d absolute gate violation(s)", len(gateErrs))
+	}
+
 	if !*speedupGate {
 		fmt.Fprintf(os.Stderr, "benchgate: recorded %d benchmarks at GOMAXPROCS=%d, speedup gate disabled\n",
 			len(sums), rep.Procs)
@@ -148,9 +198,195 @@ func realMain() error {
 	}
 	if rep.Speedup < *minSpeedup {
 		return fmt.Errorf("%s regressed against %s: speedup %.2fx < required %.2fx at GOMAXPROCS=%d",
-			*parName, *serialName, rep.Speedup, *minSpeedup, rep.Procs)
+			*parName, rep.Serial.Name, rep.Speedup, *minSpeedup, rep.Procs)
 	}
 	return nil
+}
+
+// gate is one benchmark's absolute limits; zero means unset.
+type gate struct {
+	minMBps   float64
+	maxAllocs float64
+}
+
+// collectGates assembles the per-benchmark absolute gates: those recorded
+// in the gatesFrom report first, then the explicit flag specs on top.
+func collectGates(gatesFrom, minMBps, maxAllocs, serialName string) (map[string]gate, error) {
+	gates := make(map[string]gate)
+	if gatesFrom != "" {
+		prev, err := readReport(gatesFrom)
+		if err != nil {
+			return nil, fmt.Errorf("-gates-from: %w", err)
+		}
+		for _, s := range prev.Benchmarks {
+			if s.MinMBPerSec > 0 || s.MaxAllocs > 0 {
+				gates[s.Name] = gate{minMBps: s.MinMBPerSec, maxAllocs: s.MaxAllocs}
+			}
+		}
+	}
+	if err := parseGateSpec(minMBps, serialName, gates, func(g *gate, v float64) { g.minMBps = v }); err != nil {
+		return nil, fmt.Errorf("-min-mbps: %w", err)
+	}
+	if err := parseGateSpec(maxAllocs, serialName, gates, func(g *gate, v float64) { g.maxAllocs = v }); err != nil {
+		return nil, fmt.Errorf("-max-allocs: %w", err)
+	}
+	return gates, nil
+}
+
+// parseGateSpec parses a comma-separated list of name=value gate pairs
+// (bare values target serialName) into gates via set.
+func parseGateSpec(spec, serialName string, gates map[string]gate, set func(*gate, float64)) error {
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val := serialName, part
+		if i := strings.LastIndexByte(part, '='); i >= 0 {
+			name, val = strings.TrimSpace(part[:i]), strings.TrimSpace(part[i+1:])
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("bad gate value %q (want a positive number)", part)
+		}
+		g := gates[name]
+		set(&g, v)
+		gates[name] = g
+	}
+	return nil
+}
+
+// applyGates records each gate into its benchmark's summary and returns the
+// violations. A gate naming a benchmark absent from the input is an error:
+// a silently unmatched gate is a gate that stopped gating.
+func applyGates(sums []summary, gates map[string]gate) ([]error, error) {
+	byName := make(map[string]*summary, len(sums))
+	for i := range sums {
+		byName[sums[i].Name] = &sums[i]
+	}
+	names := make([]string, 0, len(gates))
+	for name := range gates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var violations []error
+	for _, name := range names {
+		s, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("gate for %s matches no benchmark in the input", name)
+		}
+		g := gates[name]
+		s.MinMBPerSec, s.MaxAllocs = g.minMBps, g.maxAllocs
+		if g.minMBps > 0 && s.MBPerSec < g.minMBps {
+			violations = append(violations, fmt.Errorf("%s throughput %.2f MB/s is below the %.2f MB/s floor",
+				name, s.MBPerSec, g.minMBps))
+		}
+		if g.maxAllocs > 0 && s.AllocsPerOp > g.maxAllocs {
+			violations = append(violations, fmt.Errorf("%s allocations %.0f allocs/op exceed the %.0f allocs/op ceiling",
+				name, s.AllocsPerOp, g.maxAllocs))
+		}
+	}
+	return violations, nil
+}
+
+// readReport loads a previously written BENCH_*.json report.
+func readReport(path string) (*report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// writeComparison diffs the new summaries against the oldPath report and
+// writes a benchstat-style table to outPath.
+func writeComparison(oldPath string, sums []summary, outPath string) error {
+	prev, err := readReport(oldPath)
+	if err != nil {
+		return fmt.Errorf("-compare: %w", err)
+	}
+	var b strings.Builder
+	formatComparison(&b, prev.Benchmarks, sums)
+	if outPath == "-" {
+		_, err = os.Stdout.WriteString(b.String())
+		return err
+	}
+	return os.WriteFile(outPath, []byte(b.String()), 0o644)
+}
+
+// formatComparison renders old-vs-new metric tables in benchstat style: one
+// section per metric, one row per benchmark present on both sides, with the
+// relative delta (negative ns/op and allocs/op deltas are improvements,
+// negative MB/s deltas are regressions). One-sided benchmarks are listed at
+// the end so additions and removals stay visible.
+func formatComparison(w io.Writer, old, new []summary) {
+	oldBy := make(map[string]summary, len(old))
+	for _, s := range old {
+		oldBy[s.Name] = s
+	}
+	type row struct {
+		name     string
+		old, new float64
+	}
+	metrics := []struct {
+		label string
+		get   func(summary) float64
+	}{
+		{"ns/op", func(s summary) float64 { return s.NsPerOp }},
+		{"MB/s", func(s summary) float64 { return s.MBPerSec }},
+		{"allocs/op", func(s summary) float64 { return s.AllocsPerOp }},
+	}
+	for _, m := range metrics {
+		var rows []row
+		for _, s := range new {
+			o, ok := oldBy[s.Name]
+			if !ok || m.get(o) == 0 && m.get(s) == 0 {
+				continue
+			}
+			rows = append(rows, row{s.Name, m.get(o), m.get(s)})
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+		fmt.Fprintf(tw, "name\told %s\tnew %s\tdelta\n", m.label, m.label)
+		for _, r := range rows {
+			delta := "~"
+			if r.old != 0 {
+				delta = fmt.Sprintf("%+.2f%%", (r.new-r.old)/r.old*100)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n",
+				strings.TrimPrefix(r.name, "Benchmark"), formatMetric(r.old), formatMetric(r.new), delta)
+		}
+		tw.Flush()
+		fmt.Fprintln(w)
+	}
+	newBy := make(map[string]bool, len(new))
+	for _, s := range new {
+		newBy[s.Name] = true
+	}
+	for _, s := range new {
+		if _, ok := oldBy[s.Name]; !ok {
+			fmt.Fprintf(w, "new benchmark: %s\n", s.Name)
+		}
+	}
+	for _, s := range old {
+		if !newBy[s.Name] {
+			fmt.Fprintf(w, "removed benchmark: %s\n", s.Name)
+		}
+	}
+}
+
+// formatMetric renders a metric value without trailing decimal noise.
+func formatMetric(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
 }
 
 // parseBench reads `go test -bench` output and aggregates repeated runs of

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -58,6 +60,125 @@ func TestParseBench(t *testing.T) {
 	// Custom metrics (runs/op) must not break parsing.
 	if g := byName["BenchmarkGenerate"]; g.NsPerOp != 500000000 {
 		t.Errorf("Generate ns/op = %v, want 500000000", g.NsPerOp)
+	}
+}
+
+func TestParseGateSpec(t *testing.T) {
+	gates := map[string]gate{}
+	err := parseGateSpec("40.5, BenchmarkAnalyze/parallel=160", "BenchmarkAnalyze/serial",
+		gates, func(g *gate, v float64) { g.minMBps = v })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := parseGateSpec("BenchmarkAnalyze/serial=153625", "BenchmarkAnalyze/serial",
+		gates, func(g *gate, v float64) { g.maxAllocs = v }); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]gate{
+		"BenchmarkAnalyze/serial":   {minMBps: 40.5, maxAllocs: 153625},
+		"BenchmarkAnalyze/parallel": {minMBps: 160},
+	}
+	if len(gates) != len(want) {
+		t.Fatalf("gates = %+v, want %+v", gates, want)
+	}
+	for name, g := range want {
+		if gates[name] != g {
+			t.Errorf("gates[%q] = %+v, want %+v", name, gates[name], g)
+		}
+	}
+	for _, bad := range []string{"=-3", "name=zero", "name=0", "name=-1"} {
+		if err := parseGateSpec(bad, "s", map[string]gate{}, func(g *gate, v float64) {}); err == nil {
+			t.Errorf("parseGateSpec(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestApplyGates(t *testing.T) {
+	mkSums := func() []summary {
+		return []summary{
+			{Name: "BenchmarkAnalyze/serial", MBPerSec: 50.4, AllocsPerOp: 149638},
+			{Name: "BenchmarkAnalyze/parallel", MBPerSec: 170.2, AllocsPerOp: 150001},
+		}
+	}
+
+	sums := mkSums()
+	viol, err := applyGates(sums, map[string]gate{
+		"BenchmarkAnalyze/serial": {minMBps: 40.5, maxAllocs: 153625},
+	})
+	if err != nil || len(viol) != 0 {
+		t.Fatalf("passing gates: violations=%v err=%v", viol, err)
+	}
+	// Gates must be recorded into the summaries for the report.
+	if sums[0].MinMBPerSec != 40.5 || sums[0].MaxAllocs != 153625 {
+		t.Errorf("gates not recorded: %+v", sums[0])
+	}
+	if sums[1].MinMBPerSec != 0 || sums[1].MaxAllocs != 0 {
+		t.Errorf("ungated benchmark got gates: %+v", sums[1])
+	}
+
+	viol, err = applyGates(mkSums(), map[string]gate{
+		"BenchmarkAnalyze/serial":   {minMBps: 60},
+		"BenchmarkAnalyze/parallel": {maxAllocs: 150000},
+	})
+	if err != nil || len(viol) != 2 {
+		t.Fatalf("want 2 violations, got %v (err=%v)", viol, err)
+	}
+
+	if _, err = applyGates(mkSums(), map[string]gate{"BenchmarkGone": {minMBps: 1}}); err == nil {
+		t.Error("gate on a missing benchmark accepted, want error")
+	}
+}
+
+func TestCollectGatesFromReport(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/BENCH_prev.json"
+	prev := report{Benchmarks: []summary{
+		{Name: "BenchmarkAnalyze/serial", MinMBPerSec: 40.5, MaxAllocs: 153625},
+		{Name: "BenchmarkAnalyze/parallel"},
+	}}
+	buf, err := json.Marshal(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Flags override the recorded gates per benchmark.
+	gates, err := collectGates(path, "45", "", "BenchmarkAnalyze/serial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := gates["BenchmarkAnalyze/serial"]
+	if got.minMBps != 45 || got.maxAllocs != 153625 {
+		t.Errorf("merged gate = %+v, want floor 45 from flag, ceiling 153625 from report", got)
+	}
+	if len(gates) != 1 {
+		t.Errorf("gates = %+v, want only the serial entry (parallel recorded none)", gates)
+	}
+}
+
+func TestFormatComparison(t *testing.T) {
+	old := []summary{
+		{Name: "BenchmarkAnalyze/serial", NsPerOp: 1412254790, MBPerSec: 13.51, AllocsPerOp: 768125},
+		{Name: "BenchmarkRemoved", NsPerOp: 10},
+	}
+	newer := []summary{
+		{Name: "BenchmarkAnalyze/serial", NsPerOp: 378530118, MBPerSec: 50.40, AllocsPerOp: 149638},
+		{Name: "BenchmarkAdded", NsPerOp: 20},
+	}
+	var b strings.Builder
+	formatComparison(&b, old, newer)
+	out := b.String()
+	for _, want := range []string{
+		"old ns/op", "new ns/op", "Analyze/serial", "-73.20%", // faster
+		"old MB/s", "+273.06%", // more throughput
+		"old allocs/op", "-80.52%", // fewer allocations
+		"new benchmark: BenchmarkAdded",
+		"removed benchmark: BenchmarkRemoved",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -207,18 +207,22 @@ func atoiField(fields map[string]string, key, body string) (int, error) {
 
 // Assembler pairs Starting/Finishing messages into AppRun records.
 type Assembler struct {
-	open       map[uint64]*AppRun
+	open       map[uint64]AppRun
 	done       []AppRun
 	unmatched  int
 	duplicates int
 	clamped    int
 	lenient    bool
+	// interned canonicalizes the short repeated per-run strings (user, job
+	// ID, command) so the byte-view fast path copies each distinct value out
+	// of its input buffer at most once.
+	interned map[string]string
 }
 
 // NewAssembler returns an empty assembler in strict duplicate handling:
 // a second Starting for an open apid is an error.
 func NewAssembler() *Assembler {
-	return &Assembler{open: make(map[uint64]*AppRun)}
+	return &Assembler{open: make(map[uint64]AppRun), interned: make(map[string]string)}
 }
 
 // SetLenient selects the degraded-record policy: when on, a second
@@ -241,7 +245,7 @@ func (a *Assembler) Add(at time.Time, m Message) error {
 			}
 			return fmt.Errorf("alps: duplicate Starting for apid %d", m.ApID)
 		}
-		a.open[m.ApID] = &AppRun{
+		a.open[m.ApID] = AppRun{
 			ApID:  m.ApID,
 			JobID: m.JobID,
 			User:  m.User,
@@ -251,32 +255,38 @@ func (a *Assembler) Add(at time.Time, m Message) error {
 			Start: at,
 		}
 	case KindFinishing:
-		run, ok := a.open[m.ApID]
-		if !ok {
-			a.unmatched++
-			return nil // exit without a start: archive truncation, tolerated
-		}
-		if at.Before(run.Start) {
-			// A Finishing stamped before its Starting (clock skew, torn
-			// buffers) would give the run a negative duration and poison
-			// every downstream duration statistic.
-			if !a.lenient {
-				return fmt.Errorf("alps: apid %d Finishing at %s precedes Starting at %s",
-					m.ApID, at.Format(time.RFC3339), run.Start.Format(time.RFC3339))
-			}
-			a.clamped++
-			at = run.Start
-		}
-		delete(a.open, m.ApID)
-		run.End = at
-		run.ExitCode = m.ExitCode
-		run.Signal = m.Signal
-		a.done = append(a.done, *run)
+		return a.finish(at, m.ApID, m.ExitCode, m.Signal)
 	case KindUnknown:
 		// apsys chatter; ignore.
 	default:
 		return fmt.Errorf("alps: unknown message kind %d", m.Kind)
 	}
+	return nil
+}
+
+// finish closes the open run for apid, shared by Add and AddView.
+func (a *Assembler) finish(at time.Time, apid uint64, exitCode, signal int) error {
+	run, ok := a.open[apid]
+	if !ok {
+		a.unmatched++
+		return nil // exit without a start: archive truncation, tolerated
+	}
+	if at.Before(run.Start) {
+		// A Finishing stamped before its Starting (clock skew, torn
+		// buffers) would give the run a negative duration and poison
+		// every downstream duration statistic.
+		if !a.lenient {
+			return fmt.Errorf("alps: apid %d Finishing at %s precedes Starting at %s",
+				apid, at.Format(time.RFC3339), run.Start.Format(time.RFC3339))
+		}
+		a.clamped++
+		at = run.Start
+	}
+	delete(a.open, apid)
+	run.End = at
+	run.ExitCode = exitCode
+	run.Signal = signal
+	a.done = append(a.done, run)
 	return nil
 }
 

@@ -1,12 +1,14 @@
 package alps
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 
 	"logdiver/internal/machine"
+	"logdiver/internal/parse"
 )
 
 // FormatNIDList renders a node-ID set in the compact range notation ALPS
@@ -88,4 +90,75 @@ func ParseNIDList(s string) ([]machine.NodeID, error) {
 		}
 	}
 	return out, nil
+}
+
+// ParseNIDListBytes is ParseNIDList over a byte view, with identical
+// acceptance and error text. It makes exactly one allocation (the result
+// slice, sized by a counting pre-pass) on valid input, allocating
+// otherwise only to build errors.
+func ParseNIDListBytes(s []byte) ([]machine.NodeID, error) {
+	if len(s) == 0 {
+		return nil, nil
+	}
+	// Pass 1: validate every range and count the total expansion.
+	total := 0
+	for start := 0; start <= len(s); {
+		part, next := nidPart(s, start)
+		start = next
+		lo, hi, err := nidRange(part, s)
+		if err != nil {
+			return nil, err
+		}
+		if hi-lo >= maxNIDListLen || total+int(hi-lo)+1 > maxNIDListLen {
+			return nil, fmt.Errorf("alps: nid list %q implausibly large", s)
+		}
+		total += int(hi-lo) + 1
+	}
+	// Pass 2: fill.
+	out := make([]machine.NodeID, 0, total)
+	for start := 0; start <= len(s); {
+		part, next := nidPart(s, start)
+		start = next
+		lo, hi, _ := nidRange(part, s)
+		for id := lo; id <= hi; id++ {
+			out = append(out, id)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] <= out[i-1] {
+			return nil, fmt.Errorf("alps: nid list %q not strictly ascending", s)
+		}
+	}
+	return out, nil
+}
+
+// nidPart returns the comma-separated part starting at start and the next
+// scan position, mirroring strings.Split(s, ",") iteration.
+func nidPart(s []byte, start int) (part []byte, next int) {
+	if i := bytes.IndexByte(s[start:], ','); i >= 0 {
+		return s[start : start+i], start + i + 1
+	}
+	return s[start:], len(s) + 1
+}
+
+// nidRange parses one "lo" or "lo-hi" part with the exact acceptance and
+// error text of the ParseNIDList body.
+func nidRange(part, list []byte) (lo, hi machine.NodeID, err error) {
+	loB, hiB := part, []byte(nil)
+	isRange := false
+	if i := bytes.IndexByte(part, '-'); i >= 0 {
+		loB, hiB, isRange = part[:i], part[i+1:], true
+	}
+	l, ok := parse.Atoi(loB)
+	if !ok || l < 0 {
+		return 0, 0, fmt.Errorf("alps: bad nid %q in list %q", part, list)
+	}
+	h := l
+	if isRange {
+		h, ok = parse.Atoi(hiB)
+		if !ok || h < l {
+			return 0, 0, fmt.Errorf("alps: bad nid range %q in list %q", part, list)
+		}
+	}
+	return machine.NodeID(l), machine.NodeID(h), nil
 }

@@ -37,7 +37,7 @@ func (a *Assembler) State() AssemblerState {
 	}
 	copy(st.Done, a.done)
 	for _, r := range a.open {
-		st.Open = append(st.Open, *r)
+		st.Open = append(st.Open, r)
 	}
 	sort.Slice(st.Open, func(i, j int) bool { return st.Open[i].ApID < st.Open[j].ApID })
 	return st
@@ -48,19 +48,19 @@ func (a *Assembler) State() AssemblerState {
 // apid twice in Open is corrupt and rejected.
 func RestoreAssembler(st AssemblerState) (*Assembler, error) {
 	a := &Assembler{
-		open:       make(map[uint64]*AppRun, len(st.Open)),
+		open:       make(map[uint64]AppRun, len(st.Open)),
 		done:       make([]AppRun, len(st.Done)),
 		unmatched:  st.Unmatched,
 		duplicates: st.Duplicates,
 		clamped:    st.Clamped,
+		interned:   make(map[string]string),
 	}
 	copy(a.done, st.Done)
 	for _, r := range st.Open {
 		if _, dup := a.open[r.ApID]; dup {
 			return nil, fmt.Errorf("alps: restore: apid %d open twice", r.ApID)
 		}
-		run := r
-		a.open[r.ApID] = &run
+		a.open[r.ApID] = r
 	}
 	return a, nil
 }

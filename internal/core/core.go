@@ -7,6 +7,7 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -329,18 +330,35 @@ func readAccounting(a Archives, res *Result, mode parse.Mode) ([]wlm.Job, error)
 	if a.Accounting == nil {
 		return nil, nil
 	}
-	sc := wlm.NewScannerMode(a.Accounting, a.Location, mode)
+	lr := parse.NewLineReader(a.Accounting)
 	asm := wlm.NewAssembler()
-	for sc.Scan() {
+	var stats parse.LineStats
+	for {
+		raw, no, ok := lr.NextBytes()
+		if !ok {
+			break
+		}
+		rec, skip, perr := wlm.CheckLineBytes(raw, a.Location)
+		if skip {
+			continue
+		}
+		if perr != nil {
+			perr.Line = no
+			if mode == parse.Strict {
+				return nil, archiveErr(ArchiveAccounting, perr)
+			}
+			stats.Record(perr)
+			continue
+		}
 		res.Parse.AccountingRecords++
-		if err := asm.Add(sc.Record()); err != nil {
+		if err := asm.AddScan(rec); err != nil {
 			return nil, archiveErr(ArchiveAccounting, err)
 		}
 	}
-	if err := sc.Err(); err != nil {
+	if err := lr.Err(); err != nil {
 		return nil, archiveErr(ArchiveAccounting, err)
 	}
-	res.Parse.AccountingDetail = sc.Stats()
+	res.Parse.AccountingDetail = stats
 	res.Parse.AccountingDetail.SetArchive(ArchiveAccounting)
 	res.Parse.AccountingMalformed = res.Parse.AccountingDetail.Malformed()
 	return asm.Jobs(), nil
@@ -384,6 +402,34 @@ func checkApsysLine(text string, no int) (msg apsysMsg, counted, haveMsg bool, p
 	return apsysMsg{at: line.Time, msg: m}, true, true, nil
 }
 
+// apsysTagBytes is alps.Tag for byte-view comparison on the hot path.
+var apsysTagBytes = []byte(alps.Tag)
+
+// checkApsysLineBytes is checkApsysLine on the byte-view fast path: the
+// syslog layer via syslogx.CheckLineBytes, then alps.ParseMessageBytes for
+// lines with the apsys tag, with identical skip/counted/error semantics.
+// The returned view aliases raw; callers must fold it (AddView copies what
+// it retains) before the buffer is reused.
+func checkApsysLineBytes(raw []byte, no int) (at time.Time, v alps.MessageView, counted, haveMsg bool, perr *parse.Error) {
+	lv, skip, perr := syslogx.CheckLineBytes(raw)
+	if skip {
+		return time.Time{}, alps.MessageView{}, false, false, nil
+	}
+	if perr != nil {
+		perr.Line = no
+		return time.Time{}, alps.MessageView{}, false, false, perr
+	}
+	if !bytes.Equal(lv.Tag, apsysTagBytes) {
+		return time.Time{}, alps.MessageView{}, true, false, nil
+	}
+	m, merr := alps.ParseMessageBytes(lv.Msg)
+	if merr != nil {
+		merr.Line = no
+		return time.Time{}, alps.MessageView{}, true, false, merr
+	}
+	return lv.Time, m, true, true, nil
+}
+
 func readApsys(a Archives, res *Result, mode parse.Mode) ([]alps.AppRun, error) {
 	if a.Apsys == nil {
 		return nil, nil
@@ -393,11 +439,11 @@ func readApsys(a Archives, res *Result, mode parse.Mode) ([]alps.AppRun, error) 
 	asm.SetLenient(mode == parse.Lenient)
 	var stats parse.LineStats
 	for {
-		text, no, ok := lr.Next()
+		raw, no, ok := lr.NextBytes()
 		if !ok {
 			break
 		}
-		msg, counted, haveMsg, perr := checkApsysLine(text, no)
+		at, v, counted, haveMsg, perr := checkApsysLineBytes(raw, no)
 		if counted {
 			res.Parse.ApsysLines++
 		}
@@ -411,7 +457,7 @@ func readApsys(a Archives, res *Result, mode parse.Mode) ([]alps.AppRun, error) 
 		if !haveMsg {
 			continue
 		}
-		if err := asm.Add(msg.at, msg.msg); err != nil {
+		if err := asm.AddView(at, v); err != nil {
 			return nil, archiveErr(ArchiveApsys, err)
 		}
 	}
@@ -432,23 +478,41 @@ func readSyslog(a Archives, top *machine.Topology, cls *taxonomy.Classifier, res
 	if a.Syslog == nil {
 		return nil, nil
 	}
-	sc := syslogx.NewScannerMode(a.Syslog, mode)
-	var events []errlog.Event
-	for sc.Scan() {
-		line := sc.Line()
-		res.Parse.SyslogLines++
-		e, ok := errlog.FromLine(line, top, cls)
+	lr := parse.NewLineReader(a.Syslog)
+	hc := errlog.NewHostCache()
+	var batch errlog.EventBatch
+	var stats parse.LineStats
+	for {
+		raw, no, ok := lr.NextBytes()
 		if !ok {
+			break
+		}
+		v, skip, perr := syslogx.CheckLineBytes(raw)
+		if skip {
+			continue
+		}
+		if perr != nil {
+			perr.Line = no
+			if mode == parse.Strict {
+				return nil, archiveErr(ArchiveSyslog, perr)
+			}
+			stats.Record(perr)
+			continue
+		}
+		res.Parse.SyslogLines++
+		cat, sev := cls.ClassifyBytes(v.Msg)
+		if cat == taxonomy.Unclassified {
 			res.Parse.Unclassified++
 			continue
 		}
-		events = append(events, e)
+		node, cname := hc.Resolve(v.Host, top)
+		batch.Append(errlog.Event{Time: v.Time, Node: node, Cname: cname, Category: cat, Severity: sev}, v.Msg)
 	}
-	if err := sc.Err(); err != nil {
+	if err := lr.Err(); err != nil {
 		return nil, archiveErr(ArchiveSyslog, err)
 	}
-	res.Parse.SyslogDetail = sc.Stats()
+	res.Parse.SyslogDetail = stats
 	res.Parse.SyslogDetail.SetArchive(ArchiveSyslog)
 	res.Parse.SyslogMalformed = res.Parse.SyslogDetail.Malformed()
-	return events, nil
+	return batch.Finish(), nil
 }

@@ -172,9 +172,9 @@ func (inc *Incremental) Append(d Delta) (AppendStats, error) {
 	if len(d.Accounting) > 0 {
 		base := inc.lineBase[archiveIdxAccounting]
 		err := readAccountingParallel(bytes.NewReader(d.Accounting), inc.loc,
-			inc.opts.Parallelism, inc.opts.ParseMode, &rst, func(rec wlm.Record) error {
-				inc.dirtyJobs[rec.JobID] = struct{}{}
-				return inc.wlmAsm.Add(rec)
+			inc.opts.Parallelism, inc.opts.ParseMode, &rst, func(rec wlm.ScanRecord) error {
+				inc.dirtyJobs[string(rec.JobID)] = struct{}{}
+				return inc.wlmAsm.AddScan(rec)
 			})
 		if err != nil {
 			return fail(ArchiveAccounting, base, err)

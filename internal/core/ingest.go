@@ -73,7 +73,7 @@ func ingestParallel(a Archives, top *machine.Topology, opts Options) (jobs []wlm
 	wg.Add(3)
 	go func() {
 		defer wg.Done()
-		accErr = readAccountingParallel(a.Accounting, a.Location, opts.Parallelism, opts.ParseMode, &accStats, wlmAsm.Add)
+		accErr = readAccountingParallel(a.Accounting, a.Location, opts.Parallelism, opts.ParseMode, &accStats, wlmAsm.AddScan)
 		if accErr != nil {
 			accErr = archiveErr(ArchiveAccounting, accErr)
 		}
@@ -118,9 +118,11 @@ func (s *ParseStats) setAssembler(asm *alps.Assembler) {
 	s.ClampedRuns = asm.ClampedEnds()
 }
 
-// accChunk is one parsed accounting block.
+// accChunk is one parsed accounting block. The records hold byte views into
+// the block's pooled buffer, valid until the consume callback returns (the
+// sink must copy or intern what it retains, which AddScan does).
 type accChunk struct {
-	recs  []wlm.Record
+	recs  []wlm.ScanRecord
 	stats parse.LineStats
 }
 
@@ -129,13 +131,13 @@ type accChunk struct {
 // accumulating parse stats into st. The caller owns the assembler behind
 // sink, so both the one-shot and the incremental ingestion paths share this
 // reader. Errors are returned unwrapped; the caller stamps the archive name.
-func readAccountingParallel(r io.Reader, loc *time.Location, workers int, mode parse.Mode, st *ParseStats, sink func(wlm.Record) error) error {
+func readAccountingParallel(r io.Reader, loc *time.Location, workers int, mode parse.Mode, st *ParseStats, sink func(wlm.ScanRecord) error) error {
 	if r == nil {
 		return nil
 	}
-	err := stream.OrderedNumberedBlocks(r, ingestBlockSize, workers,
+	err := stream.OrderedRecycledBlocks(r, ingestBlockSize, workers,
 		func(b stream.Block) (accChunk, error) {
-			recs, stats, err := wlm.ParseBlockMode(b.Data, loc, b.FirstLine, mode)
+			recs, stats, err := wlm.ScanBlockMode(b.Data, loc, b.FirstLine, mode)
 			if err != nil {
 				return accChunk{}, err
 			}
@@ -199,6 +201,54 @@ func parseApsysBlock(b stream.Block, mode parse.Mode) (apsChunk, error) {
 	return c, nil
 }
 
+// apsView is one parsed apsys message view with its syslog timestamp.
+type apsView struct {
+	at time.Time
+	v  alps.MessageView
+}
+
+// apsViewChunk is one parsed apsys block on the byte-view fast path. The
+// message views alias the block's pooled buffer, valid until the consume
+// callback returns (AddView copies or interns what it retains).
+type apsViewChunk struct {
+	msgs  []apsView
+	lines int // well-formed syslog lines (any tag)
+	stats parse.LineStats
+}
+
+// parseApsysBlockBytes is parseApsysBlock on the byte-view fast path,
+// applying checkApsysLineBytes to every line of a numbered block.
+func parseApsysBlockBytes(b stream.Block, mode parse.Mode) (apsViewChunk, error) {
+	var c apsViewChunk
+	no := b.FirstLine - 1
+	var failed *parse.Error
+	stream.ForEachLine(b.Data, func(raw []byte) {
+		no++
+		if failed != nil {
+			return
+		}
+		at, v, counted, haveMsg, perr := checkApsysLineBytes(raw, no)
+		if counted {
+			c.lines++
+		}
+		if perr != nil {
+			if mode == parse.Strict {
+				failed = perr
+				return
+			}
+			c.stats.Record(perr)
+			return
+		}
+		if haveMsg {
+			c.msgs = append(c.msgs, apsView{at: at, v: v})
+		}
+	})
+	if failed != nil {
+		return apsViewChunk{}, failed
+	}
+	return c, nil
+}
+
 // readApsysParallel streams the apsys archive through the block worker
 // pool into the caller-owned assembler. The pairing-anomaly counters
 // (OpenRuns, UnmatchedExits, ...) are assembler state, not per-block
@@ -209,13 +259,13 @@ func readApsysParallel(r io.Reader, workers int, mode parse.Mode, st *ParseStats
 	if r == nil {
 		return nil
 	}
-	err := stream.OrderedNumberedBlocks(r, ingestBlockSize, workers,
-		func(b stream.Block) (apsChunk, error) { return parseApsysBlock(b, mode) },
-		func(c apsChunk) error {
+	err := stream.OrderedRecycledBlocks(r, ingestBlockSize, workers,
+		func(b stream.Block) (apsViewChunk, error) { return parseApsysBlockBytes(b, mode) },
+		func(c apsViewChunk) error {
 			st.ApsysLines += c.lines
 			st.ApsysDetail.Merge(c.stats)
 			for _, m := range c.msgs {
-				if err := asm.Add(m.at, m.msg); err != nil {
+				if err := asm.AddView(m.at, m.v); err != nil {
 					return err
 				}
 			}
@@ -242,22 +292,49 @@ func readSyslogParallel(r io.Reader, top *machine.Topology, cls *taxonomy.Classi
 		return nil, nil
 	}
 	var events []errlog.Event
-	err := stream.OrderedNumberedBlocks(r, ingestBlockSize, workers,
+	// Per-worker host caches, reused across the blocks of this archive. The
+	// pool is local because cached attributions are only valid for this
+	// topology.
+	hostCaches := sync.Pool{New: func() any { return errlog.NewHostCache() }}
+	err := stream.OrderedRecycledBlocks(r, ingestBlockSize, workers,
 		func(b stream.Block) (sysChunk, error) {
-			lines, _, stats, err := syslogx.ParseBlockMode(b.Data, b.FirstLine, mode)
-			if err != nil {
-				return sysChunk{}, err
-			}
-			c := sysChunk{stats: stats, lines: len(lines)}
-			c.events = make([]errlog.Event, 0, len(lines))
-			for _, line := range lines {
-				e, ok := errlog.FromLine(line, top, cls)
-				if !ok {
-					c.unclassified++
-					continue
+			hc := hostCaches.Get().(*errlog.HostCache)
+			defer hostCaches.Put(hc)
+			var c sysChunk
+			var batch errlog.EventBatch
+			no := b.FirstLine - 1
+			var failed *parse.Error
+			stream.ForEachLine(b.Data, func(raw []byte) {
+				no++
+				if failed != nil {
+					return
 				}
-				c.events = append(c.events, e)
+				v, skip, perr := syslogx.CheckLineBytes(raw)
+				if skip {
+					return
+				}
+				if perr != nil {
+					perr.Line = no
+					if mode == parse.Strict {
+						failed = perr
+						return
+					}
+					c.stats.Record(perr)
+					return
+				}
+				c.lines++
+				cat, sev := cls.ClassifyBytes(v.Msg)
+				if cat == taxonomy.Unclassified {
+					c.unclassified++
+					return
+				}
+				node, cname := hc.Resolve(v.Host, top)
+				batch.Append(errlog.Event{Time: v.Time, Node: node, Cname: cname, Category: cat, Severity: sev}, v.Msg)
+			})
+			if failed != nil {
+				return sysChunk{}, failed
 			}
+			c.events = batch.Finish()
 			return c, nil
 		},
 		func(c sysChunk) error {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"logdiver/internal/errlog"
@@ -68,13 +69,29 @@ func poisson(rng *rand.Rand, mean float64) int {
 	return n
 }
 
+// severityTable maps each category to the severity the default classifier
+// assigns, built once: severityOf runs per generated event, and rebuilding
+// the default classifier (19 regexp compilations) per call dominated
+// fixture generation.
+var (
+	severityOnce  sync.Once
+	severityTable map[taxonomy.Category]taxonomy.Severity
+)
+
 // severityOf returns the severity the default classifier assigns to a
 // category, so in-memory events match what parsing the rendered text yields.
 func severityOf(cat taxonomy.Category) taxonomy.Severity {
-	for _, r := range taxonomy.Default().Rules() {
-		if r.Category == cat {
-			return r.Severity
+	severityOnce.Do(func() {
+		rules := taxonomy.Default().Rules()
+		severityTable = make(map[taxonomy.Category]taxonomy.Severity, len(rules))
+		for _, r := range rules {
+			if _, ok := severityTable[r.Category]; !ok {
+				severityTable[r.Category] = r.Severity
+			}
 		}
+	})
+	if sev, ok := severityTable[cat]; ok {
+		return sev
 	}
 	return taxonomy.SevInfo
 }

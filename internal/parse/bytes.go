@@ -1,0 +1,116 @@
+// Byte-oriented counterparts of the per-line acceptance checks and numeric
+// field parsing, used by the zero-allocation ingestion hot path. The string
+// forms (CheckLine, strconv) remain the reference implementations; the
+// differential tests in bytes_test.go pin the byte forms to them so the two
+// cannot drift.
+
+package parse
+
+import (
+	"bytes"
+	"strconv"
+	"unicode/utf8"
+)
+
+// Blank reports whether the line is empty or whitespace-only, matching
+// strings.TrimSpace(string(b)) == "".
+func Blank(b []byte) bool {
+	return len(bytes.TrimSpace(b)) == 0
+}
+
+// truncString converts at most SampleTextBytes of b to a string, for error
+// text retention without materializing a whole oversized line.
+func truncString(b []byte) string {
+	if len(b) > SampleTextBytes {
+		b = b[:SampleTextBytes]
+	}
+	return string(b)
+}
+
+// CheckLineBytes is CheckLine over a byte view: the line must fit
+// MaxLineBytes, carry no NUL bytes, and be valid UTF-8. It allocates only
+// when building an error.
+func CheckLineBytes(b []byte) *Error {
+	if len(b) > MaxLineBytes {
+		return Errorf(KindOversize, truncString(b), "line exceeds %d bytes (%d)", MaxLineBytes, len(b))
+	}
+	if bytes.IndexByte(b, 0) >= 0 {
+		return Errorf(KindEncoding, truncString(b), "NUL byte in line")
+	}
+	if !utf8.Valid(b) {
+		return Errorf(KindEncoding, truncString(b), "invalid UTF-8")
+	}
+	return nil
+}
+
+// Atoi parses b with the exact acceptance of strconv.Atoi, without
+// allocating. ok is false on any input strconv.Atoi would reject.
+func Atoi(b []byte) (int, bool) {
+	s := b
+	neg := false
+	if len(s) > 0 && (s[0] == '+' || s[0] == '-') {
+		neg = s[0] == '-'
+		s = s[1:]
+	}
+	// 18 digits cannot overflow int64; longer (or empty) inputs take the
+	// strconv path so overflow and error behavior match exactly.
+	if len(s) == 0 || len(s) > 18 {
+		n, err := strconv.Atoi(string(b))
+		return n, err == nil
+	}
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
+}
+
+// ParseInt64 parses b with the exact acceptance of
+// strconv.ParseInt(string(b), 10, 64), without allocating.
+func ParseInt64(b []byte) (int64, bool) {
+	s := b
+	neg := false
+	if len(s) > 0 && (s[0] == '+' || s[0] == '-') {
+		neg = s[0] == '-'
+		s = s[1:]
+	}
+	if len(s) == 0 || len(s) > 18 {
+		n, err := strconv.ParseInt(string(b), 10, 64)
+		return n, err == nil
+	}
+	var n int64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(c-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
+}
+
+// ParseUint64 parses b with the exact acceptance of
+// strconv.ParseUint(string(b), 10, 64), without allocating.
+func ParseUint64(b []byte) (uint64, bool) {
+	// 19 digits cannot overflow uint64.
+	if len(b) == 0 || len(b) > 19 {
+		n, err := strconv.ParseUint(string(b), 10, 64)
+		return n, err == nil
+	}
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + uint64(c-'0')
+	}
+	return n, true
+}

@@ -10,7 +10,6 @@ package parse
 
 import (
 	"bufio"
-	"bytes"
 	"fmt"
 	"io"
 	"strings"
@@ -321,6 +320,7 @@ func (s *LineStats) SetArchive(name string) {
 // unterminated line is still yielded.
 type LineReader struct {
 	r      *bufio.Reader
+	spill  []byte // reused accumulator for lines spanning buffer boundaries
 	lineNo int
 	err    error
 	done   bool
@@ -334,38 +334,75 @@ func NewLineReader(r io.Reader) *LineReader {
 // Next returns the next line (without its terminator) and its 1-based line
 // number. ok is false at end of input or on error; check Err.
 func (l *LineReader) Next() (line string, lineNo int, ok bool) {
-	if l.err != nil || l.done {
+	b, no, ok := l.NextBytes()
+	if !ok {
 		return "", 0, false
 	}
-	var buf []byte
-	for {
-		frag, err := l.r.ReadSlice('\n')
-		buf = append(buf, frag...)
-		if len(buf) > AbsMaxLineBytes {
+	return string(b), no, true
+}
+
+// NextBytes is the zero-allocation form of Next: the returned slice is a
+// view into the reader's internal buffer and is only valid until the next
+// NextBytes (or Next) call. Callers that retain line content must copy it.
+func (l *LineReader) NextBytes() (line []byte, lineNo int, ok bool) {
+	if l.err != nil || l.done {
+		return nil, 0, false
+	}
+	frag, err := l.r.ReadSlice('\n')
+	if err == nil {
+		if len(frag) > AbsMaxLineBytes {
 			l.err = bufio.ErrTooLong
-			return "", 0, false
+			return nil, 0, false
 		}
-		if err == nil {
-			break
+		l.lineNo++
+		return trimEOL(frag), l.lineNo, true
+	}
+	return l.nextSlow(frag, err)
+}
+
+// nextSlow handles the uncommon cases of NextBytes: lines spanning the
+// buffered reader's internal buffer (accumulated into the reused spill
+// buffer), end of input, and read errors.
+func (l *LineReader) nextSlow(frag []byte, err error) (line []byte, lineNo int, ok bool) {
+	l.spill = append(l.spill[:0], frag...)
+	for {
+		if len(l.spill) > AbsMaxLineBytes {
+			l.err = bufio.ErrTooLong
+			return nil, 0, false
 		}
-		if err == bufio.ErrBufferFull {
-			continue
-		}
-		if err == io.EOF {
-			if len(buf) == 0 {
+		switch err {
+		case nil:
+			l.lineNo++
+			return trimEOL(l.spill), l.lineNo, true
+		case bufio.ErrBufferFull:
+			// Keep accumulating.
+		case io.EOF:
+			if len(l.spill) == 0 {
 				l.done = true
-				return "", 0, false
+				return nil, 0, false
 			}
 			l.done = true
-			break
+			l.lineNo++
+			return trimEOL(l.spill), l.lineNo, true
+		default:
+			l.err = err
+			return nil, 0, false
 		}
-		l.err = err
-		return "", 0, false
+		frag, err = l.r.ReadSlice('\n')
+		l.spill = append(l.spill, frag...)
 	}
-	buf = bytes.TrimSuffix(buf, []byte("\n"))
-	buf = bytes.TrimSuffix(buf, []byte("\r"))
-	l.lineNo++
-	return string(buf), l.lineNo, true
+}
+
+// trimEOL strips one trailing '\n' and then one trailing '\r', matching
+// bufio.ScanLines.
+func trimEOL(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		b = b[:n-1]
+	}
+	if n := len(b); n > 0 && b[n-1] == '\r' {
+		b = b[:n-1]
+	}
+	return b
 }
 
 // Err returns the first read error, if any.

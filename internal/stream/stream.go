@@ -93,6 +93,101 @@ func NumberedBlocks(r io.Reader, blockSize int, emit func(Block) bool) error {
 	}
 }
 
+// blockBufPool recycles block buffers for OrderedRecycledBlocks. Pooled
+// buffers are stored as *[]byte to avoid an allocation per Put.
+var blockBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, DefaultBlockSize+(4<<10))
+		return &b
+	},
+}
+
+// pooledNumberedBlocks is NumberedBlocks with each Block.Data built inside a
+// buffer drawn from blockBufPool. emit receives the pool handle alongside the
+// block; ownership of the buffer passes to the emit callback, which must
+// return it to blockBufPool once the block bytes are no longer referenced.
+// Buffers never returned (early stop, error) are simply collected.
+func pooledNumberedBlocks(r io.Reader, blockSize int, emit func(b Block, buf *[]byte) bool) error {
+	if blockSize < 1 {
+		blockSize = DefaultBlockSize
+	}
+	var carry []byte
+	line := 1
+	buf := make([]byte, blockSize)
+	for {
+		n, err := r.Read(buf)
+		if n > 0 {
+			data := buf[:n]
+			if i := bytes.LastIndexByte(data, '\n'); i >= 0 {
+				bp := blockBufPool.Get().(*[]byte)
+				block := (*bp)[:0]
+				block = append(block, carry...)
+				block = append(block, data[:i+1]...)
+				*bp = block
+				carry = append(carry[:0], data[i+1:]...)
+				first := line
+				line += bytes.Count(block, []byte("\n"))
+				if !emit(Block{Data: block, FirstLine: first}, bp) {
+					return nil
+				}
+			} else {
+				carry = append(carry, data...)
+			}
+			if len(carry) > parse.AbsMaxLineBytes {
+				return bufio.ErrTooLong
+			}
+		}
+		switch err {
+		case nil:
+		case io.EOF:
+			if len(carry) > 0 {
+				bp := blockBufPool.Get().(*[]byte)
+				block := append((*bp)[:0], carry...)
+				*bp = block
+				emit(Block{Data: block, FirstLine: line}, bp)
+			}
+			return nil
+		default:
+			return err
+		}
+	}
+}
+
+// OrderedRecycledBlocks is OrderedNumberedBlocks with block-buffer recycling:
+// each block's backing buffer is drawn from an internal pool and returned to
+// it after consume finishes with the corresponding output. The contract this
+// adds over OrderedNumberedBlocks: neither apply's Out value nor consume may
+// retain any bytes of the block past consume's return — everything kept must
+// be copied (or interned) first. In exchange the steady-state ingestion path
+// stops allocating one fresh block per DefaultBlockSize of input.
+func OrderedRecycledBlocks[Out any](r io.Reader, blockSize, workers int, apply func(b Block) (Out, error), consume func(Out) error) error {
+	type job struct {
+		b   Block
+		buf *[]byte
+	}
+	type recycled struct {
+		out Out
+		buf *[]byte
+	}
+	return Ordered(workers,
+		func(emit func(job) bool) error {
+			return pooledNumberedBlocks(r, blockSize, func(b Block, buf *[]byte) bool {
+				return emit(job{b: b, buf: buf})
+			})
+		},
+		func(j job) (recycled, error) {
+			out, err := apply(j.b)
+			return recycled{out: out, buf: j.buf}, err
+		},
+		func(rc recycled) error {
+			err := consume(rc.out)
+			if rc.buf != nil {
+				blockBufPool.Put(rc.buf)
+			}
+			return err
+		})
+}
+
 // ForEachLine splits a block into lines with the exact semantics of
 // bufio.ScanLines: lines are terminated by '\n', one trailing '\r' is
 // stripped, and a final unterminated line is still yielded. Empty lines are

@@ -1,0 +1,143 @@
+package syslogx
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"logdiver/internal/parse"
+)
+
+// fastDiffLines covers the acceptance surface the byte scanner must
+// reproduce bit-for-bit: the canonical Zulu stamp (fast path), numeric
+// offsets (fallback through time.Parse), fractional-second and structure
+// variants, and the malformed classes from syslogErrorCases.
+var fastDiffLines = []string{
+	"2013-04-03T12:34:56.123456Z c0-0c0s0n1 kernel: machine check",
+	"2013-04-03T12:34:56.123456-05:00 c0-0c0s0n1 kernel: Lustre: request timed out",
+	"2013-04-03T12:34:56.123456+01:30 sdb xtevent: heartbeat fault",
+	"2013-04-03T23:59:59.999999Z nid00012 apsys: apid=1, Starting",
+	"2013-02-28T00:00:00.000000Z host tag: leap boundary",
+	"2012-02-29T00:00:00.000000Z host tag: leap day",
+	"2013-04-03T12:34:56Z host kernel: no fractional seconds",
+	"2013-04-31T12:34:56.000000Z host kernel: impossible day",
+	"2013-04-03T12:34:56.123456Z host kernel:",
+	"2013-04-03T12:34:56.123456Z host tag: message: with: colons",
+	"2013-04-03T12:34:56.123456Z host  kernel: double space",
+	"", "   ",
+}
+
+// TestCheckLineBytesMatchesCheckLine pins the byte scanner to the string
+// reference line by line: same skips, same typed errors, and — through
+// Materialize — identical Line values.
+func TestCheckLineBytesMatchesCheckLine(t *testing.T) {
+	lines := append([]string{}, fastDiffLines...)
+	for _, tc := range syslogErrorCases {
+		lines = append(lines, tc.line)
+	}
+	for _, line := range lines {
+		want, wantSkip, wantErr := CheckLine(line)
+		view, gotSkip, gotErr := CheckLineBytes([]byte(line))
+		if gotSkip != wantSkip {
+			t.Errorf("CheckLineBytes(%q) skip = %v, want %v", line, gotSkip, wantSkip)
+			continue
+		}
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Errorf("CheckLineBytes(%q) err = %v, string path %v", line, gotErr, wantErr)
+			continue
+		}
+		if wantErr != nil {
+			if gotErr.Kind != wantErr.Kind || gotErr.Error() != wantErr.Error() {
+				t.Errorf("CheckLineBytes(%q) err = %q (%v), string path %q (%v)",
+					line, gotErr.Error(), gotErr.Kind, wantErr.Error(), wantErr.Kind)
+			}
+			continue
+		}
+		if wantSkip {
+			continue
+		}
+		got := view.Materialize()
+		if !got.Time.Equal(want.Time) {
+			t.Errorf("CheckLineBytes(%q) Time = %v, want %v", line, got.Time, want.Time)
+		}
+		got.Time = want.Time
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("CheckLineBytes(%q) = %+v, want %+v", line, got, want)
+		}
+	}
+}
+
+// TestParseStampFastAgreesWithLayout: every stamp the fast path accepts
+// must decode to the same instant the layout parse produces, and the fast
+// path must never accept a stamp the layout rejects.
+func TestParseStampFastAgreesWithLayout(t *testing.T) {
+	stamps := []string{
+		"2013-04-03T12:34:56.123456Z",
+		"2012-02-29T00:00:00.000000Z",
+		"2013-02-29T00:00:00.000000Z", // not a leap year
+		"2013-00-03T12:34:56.123456Z",
+		"2013-13-03T12:34:56.123456Z",
+		"2013-04-00T12:34:56.123456Z",
+		"2013-04-31T12:34:56.123456Z",
+		"2013-04-03T24:00:00.000000Z",
+		"2013-04-03T12:60:00.000000Z",
+		"2013-04-03T12:34:60.000000Z",
+		"2013-04-03T12:34:56.12345Z",
+		"2013-04-03 12:34:56.123456Z",
+	}
+	for _, s := range stamps {
+		at, ok := parseStampFast([]byte(s))
+		want, err := time.Parse(timeLayout, s)
+		if ok && err != nil {
+			t.Errorf("parseStampFast(%q) accepted a stamp the layout rejects (%v)", s, err)
+			continue
+		}
+		if ok && !at.Equal(want) {
+			t.Errorf("parseStampFast(%q) = %v, layout = %v", s, at, want)
+		}
+	}
+}
+
+// TestCheckLineBytesZeroAlloc gates the per-line fast path: a canonical
+// Zulu-stamped line must scan without allocating.
+func TestCheckLineBytesZeroAlloc(t *testing.T) {
+	line := []byte("2013-04-03T12:34:56.123456Z c0-0c0s0n1 kernel: machine check exception")
+	if n := testing.AllocsPerRun(200, func() {
+		_, skip, perr := CheckLineBytes(line)
+		if skip || perr != nil {
+			t.Fatal("canonical line rejected")
+		}
+	}); n != 0 {
+		t.Errorf("CheckLineBytes allocates %.1f allocs/op on the fast path, want 0", n)
+	}
+}
+
+// TestBlockModesMatch pins the byte-backed block parser against per-line
+// CheckLine over a mixed block in lenient mode (the strict half is covered
+// by TestCheckLineBytesMatchesCheckLine since ParseBlockMode reports the
+// first CheckLineBytes error).
+func TestBlockModesMatch(t *testing.T) {
+	var b strings.Builder
+	for _, l := range fastDiffLines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	lines, nums, _, err := ParseBlockMode([]byte(b.String()), 1, parse.Lenient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantLines []Line
+	var wantNums []int
+	for i, l := range fastDiffLines {
+		ln, skip, perr := CheckLine(l)
+		if skip || perr != nil {
+			continue
+		}
+		wantLines = append(wantLines, ln)
+		wantNums = append(wantNums, i+1)
+	}
+	if !reflect.DeepEqual(lines, wantLines) || !reflect.DeepEqual(nums, wantNums) {
+		t.Errorf("block parse = %+v %v\nper-line   = %+v %v", lines, nums, wantLines, wantNums)
+	}
+}

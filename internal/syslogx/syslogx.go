@@ -258,7 +258,7 @@ func ParseBlockMode(block []byte, firstLine int, mode parse.Mode) (lines []Line,
 		if failed != nil {
 			return
 		}
-		l, skip, perr := CheckLine(string(raw))
+		v, skip, perr := CheckLineBytes(raw)
 		if skip {
 			return
 		}
@@ -271,7 +271,7 @@ func ParseBlockMode(block []byte, firstLine int, mode parse.Mode) (lines []Line,
 			stats.Record(perr)
 			return
 		}
-		lines = append(lines, l)
+		lines = append(lines, v.Materialize())
 		nums = append(nums, no)
 	})
 	if failed != nil {

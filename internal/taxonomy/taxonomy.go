@@ -228,12 +228,20 @@ type Rule struct {
 // nothing at all is shared).
 type Classifier struct {
 	rules []Rule
+	// filters holds the per-rule literal prefilters (see prefilter.go):
+	// filters[i] == nil means rule i cannot be prefiltered and its regexp
+	// always runs. Computed once at construction; read-only afterwards.
+	filters []*prefilter
 }
 
 // NewClassifier builds a classifier from rules. The rule slice is copied.
 func NewClassifier(rules []Rule) *Classifier {
 	c := &Classifier{rules: make([]Rule, len(rules))}
 	copy(c.rules, rules)
+	c.filters = make([]*prefilter, len(c.rules))
+	for i := range c.rules {
+		c.filters[i] = filterOf(c.rules[i].Pattern.String())
+	}
 	return c
 }
 
@@ -259,13 +267,13 @@ func (c *Classifier) Classify(msg string) (Category, Severity) {
 // classification behavior is identical because compilation is
 // deterministic.
 func (c *Classifier) Clone() *Classifier {
-	out := &Classifier{rules: make([]Rule, len(c.rules))}
-	copy(out.rules, c.rules)
-	for i := range out.rules {
+	rules := make([]Rule, len(c.rules))
+	copy(rules, c.rules)
+	for i := range rules {
 		//ldvet:allow regexp-compile — recompiling is the point of Clone
-		out.rules[i].Pattern = regexp.MustCompile(out.rules[i].Pattern.String())
+		rules[i].Pattern = regexp.MustCompile(rules[i].Pattern.String())
 	}
-	return out
+	return NewClassifier(rules)
 }
 
 // Rules returns a copy of the classifier's rule list.

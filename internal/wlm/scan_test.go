@@ -1,0 +1,196 @@
+package wlm
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"logdiver/internal/parse"
+)
+
+// scanDiffLines covers the acceptance surface the byte scanner must
+// reproduce bit-for-bit: canonical and non-canonical timestamps, every
+// record type, last-wins duplicate keys, Unicode field separators,
+// unparseable numerics (ignored, not errors), and the malformed classes
+// from wlmErrorCases.
+var scanDiffLines = []string{
+	"04/03/2013 12:00:01;E;9.bw;Exit_status=0 user=alice",
+	"04/03/2013 12:00:00;S;123.bw;user=bob account=acct queue=debug Resource_List.nodect=128 Resource_List.walltime=12:00:00 ctime=1364995000 start=1364996000",
+	"04/03/2013 13:00:00;E;123.bw;user=bob end=1365000000 resources_used.walltime=02:30:15 Exit_status=265",
+	"04/03/2013 13:00:00;A;123.bw;",
+	"4/3/2013 2:00:00;E;77.bw;user=x",                    // non-canonical stamp: fallback parse
+	"04/03/2013 12:00:00;E;55.bw;user=a user=b",          // duplicate key: last wins
+	"04/03/2013 12:00:00;E;56.bw;user=a\u00a0account=b",  // NBSP separates fields like strings.Fields
+	"04/03/2013 12:00:00;E;56b.bw;user=a\u2003account=b", // EM SPACE likewise
+	"04/03/2013 12:00:00;E;57.bw;Resource_List.nodect=notanum Exit_status=99999999999999999999",
+	"04/03/2013 12:00:00;E;58.bw;Resource_List.walltime=1:2:3 resources_used.walltime=100:00:00",
+	"04/03/2013 12:00:00;E;59.bw;Exit_status=-11 start= ctime=x",
+	"04/03/2013 12:00:00;Q;60.bw;queue=high",
+	"", "   ", "\t",
+}
+
+func scanRecordsEqual(t *testing.T, line string, got, want ScanRecord) {
+	t.Helper()
+	fail := func(field string, g, w any) {
+		t.Errorf("CheckLineBytes(%q) %s = %v, string path %v", line, field, g, w)
+	}
+	if !got.Time.Equal(want.Time) {
+		fail("Time", got.Time, want.Time)
+	}
+	if got.Type != want.Type {
+		fail("Type", got.Type, want.Type)
+	}
+	if string(got.JobID) != string(want.JobID) {
+		fail("JobID", string(got.JobID), string(want.JobID))
+	}
+	if got.Has != want.Has {
+		fail("Has", got.Has, want.Has)
+	}
+	if string(got.User) != string(want.User) || string(got.Account) != string(want.Account) || string(got.Queue) != string(want.Queue) {
+		fail("identity fields", [3]string{string(got.User), string(got.Account), string(got.Queue)},
+			[3]string{string(want.User), string(want.Account), string(want.Queue)})
+	}
+	if !got.CreatedAt.Equal(want.CreatedAt) || !got.StartedAt.Equal(want.StartedAt) || !got.EndedAt.Equal(want.EndedAt) {
+		fail("times", [3]time.Time{got.CreatedAt, got.StartedAt, got.EndedAt},
+			[3]time.Time{want.CreatedAt, want.StartedAt, want.EndedAt})
+	}
+	if got.Nodes != want.Nodes || got.Walltime != want.Walltime || got.UsedWalltime != want.UsedWalltime || got.ExitStatus != want.ExitStatus {
+		fail("numeric fields", [4]int64{int64(got.Nodes), int64(got.Walltime), int64(got.UsedWalltime), int64(got.ExitStatus)},
+			[4]int64{int64(want.Nodes), int64(want.Walltime), int64(want.UsedWalltime), int64(want.ExitStatus)})
+	}
+}
+
+// TestCheckLineBytesMatchesCheckLine pins the byte scanner to the string
+// reference line by line: same skips, same typed errors (kind and text),
+// and field-identical records, in UTC and in a fixed non-UTC zone.
+func TestCheckLineBytesMatchesCheckLine(t *testing.T) {
+	lines := append([]string{}, scanDiffLines...)
+	for _, tc := range wlmErrorCases {
+		lines = append(lines, tc.line)
+	}
+	// nil is not in the list: the string reference requires a location,
+	// while CheckLineBytes defaults nil to UTC (checked below).
+	for _, loc := range []*time.Location{time.UTC, time.FixedZone("CST", -6*3600)} {
+		for _, line := range lines {
+			wantRec, wantSkip, wantErr := CheckLine(line, loc)
+			gotRec, gotSkip, gotErr := CheckLineBytes([]byte(line), loc)
+			if gotSkip != wantSkip {
+				t.Errorf("CheckLineBytes(%q) skip = %v, want %v", line, gotSkip, wantSkip)
+				continue
+			}
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Errorf("CheckLineBytes(%q) err = %v, string path %v", line, gotErr, wantErr)
+				continue
+			}
+			if wantErr != nil {
+				if gotErr.Kind != wantErr.Kind || gotErr.Error() != wantErr.Error() {
+					t.Errorf("CheckLineBytes(%q) err = %q (%v), string path %q (%v)",
+						line, gotErr.Error(), gotErr.Kind, wantErr.Error(), wantErr.Kind)
+				}
+				continue
+			}
+			if wantSkip {
+				continue
+			}
+			scanRecordsEqual(t, line, gotRec, scanFromRecord(wantRec))
+		}
+	}
+	nilRec, _, _ := CheckLineBytes([]byte(wlmGoodLine), nil)
+	utcRec, _, _ := CheckLineBytes([]byte(wlmGoodLine), time.UTC)
+	scanRecordsEqual(t, wlmGoodLine, nilRec, utcRec)
+}
+
+// TestScanBlockModeMatchesParseBlockMode pins the byte block parser to the
+// string block parser: same records, same lenient accounting, and the same
+// first-malformed-line strict error.
+func TestScanBlockModeMatchesParseBlockMode(t *testing.T) {
+	var good, mixed strings.Builder
+	for _, l := range scanDiffLines {
+		good.WriteString(l)
+		good.WriteByte('\n')
+	}
+	mixed.WriteString(good.String())
+	for _, tc := range wlmErrorCases {
+		mixed.WriteString(tc.line)
+		mixed.WriteByte('\n')
+	}
+	mixed.WriteString(wlmGoodLine) // no trailing newline: final fragment
+
+	for _, tc := range []struct {
+		name  string
+		block string
+		mode  parse.Mode
+	}{
+		{"good strict", good.String(), parse.Strict},
+		{"good lenient", good.String(), parse.Lenient},
+		{"mixed strict", mixed.String(), parse.Strict},
+		{"mixed lenient", mixed.String(), parse.Lenient},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			wantRecs, wantStats, wantErr := ParseBlockMode([]byte(tc.block), time.UTC, 42, tc.mode)
+			gotRecs, gotStats, gotErr := ScanBlockMode([]byte(tc.block), time.UTC, 42, tc.mode)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("ScanBlockMode err = %v, ParseBlockMode err = %v", gotErr, wantErr)
+			}
+			if wantErr != nil {
+				var wantPerr, gotPerr *parse.Error
+				if !errors.As(wantErr, &wantPerr) || !errors.As(gotErr, &gotPerr) {
+					t.Fatalf("non-typed errors: %v vs %v", gotErr, wantErr)
+				}
+				if gotPerr.Line != wantPerr.Line || gotPerr.Kind != wantPerr.Kind || gotPerr.Error() != wantPerr.Error() {
+					t.Fatalf("strict error = %q line %d, want %q line %d",
+						gotPerr.Error(), gotPerr.Line, wantPerr.Error(), wantPerr.Line)
+				}
+				return
+			}
+			if len(gotRecs) != len(wantRecs) {
+				t.Fatalf("got %d records, want %d", len(gotRecs), len(wantRecs))
+			}
+			for i := range gotRecs {
+				scanRecordsEqual(t, "block line", gotRecs[i], scanFromRecord(wantRecs[i]))
+			}
+			if !reflect.DeepEqual(gotStats, wantStats) {
+				t.Errorf("stats = %+v, want %+v", gotStats, wantStats)
+			}
+		})
+	}
+}
+
+// TestAddScanMatchesAdd feeds the same stream through the view-based and
+// map-based assembler entry points and requires identical job tables.
+func TestAddScanMatchesAdd(t *testing.T) {
+	viaAdd := NewAssembler()
+	viaScan := NewAssembler()
+	for _, line := range scanDiffLines {
+		rec, skip, perr := CheckLine(line, time.UTC)
+		if skip || perr != nil {
+			continue
+		}
+		if err := viaAdd.Add(rec); err != nil {
+			t.Fatal(err)
+		}
+		sr, _, _ := CheckLineBytes([]byte(line), time.UTC)
+		if err := viaScan.AddScan(sr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a, b := viaAdd.Jobs(), viaScan.Jobs(); !reflect.DeepEqual(a, b) {
+		t.Errorf("Add jobs = %+v\nAddScan jobs = %+v", a, b)
+	}
+}
+
+// TestCheckLineBytesZeroAlloc gates the per-line fast path: scanning a
+// canonical well-formed record must not allocate.
+func TestCheckLineBytesZeroAlloc(t *testing.T) {
+	line := []byte("04/03/2013 12:00:00;S;123.bw;user=bob account=acct queue=debug Resource_List.nodect=128 Resource_List.walltime=12:00:00 ctime=1364995000 start=1364996000")
+	if n := testing.AllocsPerRun(200, func() {
+		_, skip, perr := CheckLineBytes(line, time.UTC)
+		if skip || perr != nil {
+			t.Fatal("canonical line rejected")
+		}
+	}); n != 0 {
+		t.Errorf("CheckLineBytes allocates %.1f allocs/op on the fast path, want 0", n)
+	}
+}

@@ -230,82 +230,23 @@ func StartRecord(j Job) Record {
 // Assembler folds a stream of accounting records into Job objects.
 type Assembler struct {
 	jobs map[string]*Job
+	// interned canonicalizes the short repeated per-job strings (user,
+	// account, queue) so the byte-view fast path copies each distinct value
+	// out of its input buffer at most once.
+	interned map[string]string
 }
 
 // NewAssembler returns an empty assembler.
 func NewAssembler() *Assembler {
-	return &Assembler{jobs: make(map[string]*Job)}
+	return &Assembler{jobs: make(map[string]*Job), interned: make(map[string]string)}
 }
 
 // Add folds one record into the assembler. Unknown field values are ignored
-// rather than treated as errors: field sets vary across WLM versions.
+// rather than treated as errors: field sets vary across WLM versions. Add
+// delegates to AddScan (the byte-view fast path) so the two entry points
+// share one fold implementation.
 func (a *Assembler) Add(r Record) error {
-	if r.JobID == "" {
-		return fmt.Errorf("wlm: record with empty job id")
-	}
-	j := a.jobs[r.JobID]
-	if j == nil {
-		j = &Job{ID: r.JobID}
-		a.jobs[r.JobID] = j
-	}
-	setIf := func(dst *string, key string) {
-		if v, ok := r.Fields[key]; ok && v != "" {
-			*dst = v
-		}
-	}
-	setIf(&j.User, "user")
-	setIf(&j.Account, "account")
-	setIf(&j.Queue, "queue")
-	if v, ok := r.Fields["ctime"]; ok {
-		if sec, err := strconv.ParseInt(v, 10, 64); err == nil {
-			j.CreatedAt = time.Unix(sec, 0).UTC()
-		}
-	}
-	if v, ok := r.Fields["start"]; ok {
-		if sec, err := strconv.ParseInt(v, 10, 64); err == nil {
-			j.StartedAt = time.Unix(sec, 0).UTC()
-		}
-	}
-	if v, ok := r.Fields["end"]; ok {
-		if sec, err := strconv.ParseInt(v, 10, 64); err == nil {
-			j.EndedAt = time.Unix(sec, 0).UTC()
-		}
-	}
-	if v, ok := r.Fields["Resource_List.nodect"]; ok {
-		if n, err := strconv.Atoi(v); err == nil {
-			j.Nodes = n
-		}
-	}
-	if v, ok := r.Fields["Resource_List.walltime"]; ok {
-		if d, err := ParseWalltime(v); err == nil {
-			j.Walltime = d
-		}
-	}
-	if v, ok := r.Fields["resources_used.walltime"]; ok {
-		if d, err := ParseWalltime(v); err == nil {
-			j.UsedWalltime = d
-		}
-	}
-	if v, ok := r.Fields["Exit_status"]; ok {
-		if n, err := strconv.Atoi(v); err == nil {
-			j.ExitStatus = n
-		}
-	}
-	switch r.Type {
-	case EventStart:
-		if j.StartedAt.IsZero() {
-			j.StartedAt = r.Time
-		}
-	case EventEnd:
-		if j.EndedAt.IsZero() {
-			j.EndedAt = r.Time
-		}
-	case EventAbort:
-		j.Aborted = true
-	default:
-		// Queue and delete records carry no state the assembled job tracks.
-	}
-	return nil
+	return a.AddScan(scanFromRecord(r))
 }
 
 // Jobs returns the assembled jobs sorted by start time then ID.
