@@ -96,8 +96,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return status
 	}
 
-	diags := ldvet.Run(l.Fset(), pkgs, ldvet.Analyzers())
+	diags := ldvet.Run(l, pkgs, ldvet.Analyzers())
 	if *jsonOut {
+		if diags == nil {
+			diags = []ldvet.Diagnostic{} // a clean run is an empty array, not null
+		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(diags); err != nil {

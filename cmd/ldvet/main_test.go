@@ -22,9 +22,11 @@ func TestModuleClean(t *testing.T) {
 // contains deliberately non-exhaustive switches and per-call compiles, and
 // checks the exit status and JSON shape.
 func TestSeededFindings(t *testing.T) {
-	for _, dir := range []string{
-		"../../internal/ldvet/testdata/src/exhaustive",
-		"../../internal/ldvet/testdata/src/regexpcompile",
+	for dir, analyzer := range map[string]string{
+		"../../internal/ldvet/testdata/src/exhaustive":    "exhaustive",
+		"../../internal/ldvet/testdata/src/regexpcompile": "regexpcompile",
+		"../../internal/ldvet/testdata/src/pooledretain":  "pooledretain",
+		"../../internal/ldvet/testdata/src/hotalloc":      "hotalloc",
 	} {
 		var out, errOut strings.Builder
 		code := run([]string{"-json", dir}, &out, &errOut)
@@ -43,11 +45,31 @@ func TestSeededFindings(t *testing.T) {
 		if len(diags) == 0 {
 			t.Fatalf("ldvet %s produced no diagnostics", dir)
 		}
+		named := false
 		for _, d := range diags {
 			if d.File == "" || d.Line == 0 || d.Message == "" {
 				t.Errorf("incomplete diagnostic: %+v", d)
 			}
+			if d.Analyzer == analyzer {
+				named = true
+			}
 		}
+		if !named {
+			t.Errorf("ldvet %s reported no %s diagnostic:\n%s", dir, analyzer, out.String())
+		}
+	}
+}
+
+// TestJSONCleanIsEmptyArray pins the machine-readable contract: a clean run
+// under -json prints an empty JSON array, never null, so `jq length` and
+// similar consumers need no null guard.
+func TestJSONCleanIsEmptyArray(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-json", "../../internal/machine"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr:\n%s", code, errOut.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("clean -json output = %q, want []", got)
 	}
 }
 
@@ -80,7 +102,7 @@ func TestAnalyzersList(t *testing.T) {
 	if code := run([]string{"-analyzers"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d, want 0", code)
 	}
-	for _, name := range []string{"exhaustive", "regexpcompile"} {
+	for _, name := range []string{"exhaustive", "regexpcompile", "pooledretain", "hotalloc", "suppress"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("analyzer %s missing from listing:\n%s", name, out.String())
 		}

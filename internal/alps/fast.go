@@ -38,6 +38,9 @@ type MessageView struct {
 // exact semantics of ParseMessage. Bodies without an apid yield KindUnknown
 // with a nil error. It allocates only for the node list of a Starting
 // record and for error construction.
+//
+//ldvet:pooled
+//ldvet:hotpath
 func ParseMessageBytes(body []byte) (MessageView, *parse.Error) {
 	var m MessageView
 	// Walk the ", "-separated segments, retaining the LAST occurrence of
@@ -154,6 +157,9 @@ var (
 
 // atoiView parses a required numeric field view; ok is false when the field
 // is absent or non-numeric (use atoiErr for the matching typed error).
+//
+//ldvet:pooled
+//ldvet:hotpath
 func atoiView(v []byte, have bool) (int, bool) {
 	if !have {
 		return 0, false
@@ -180,6 +186,9 @@ func truncBody(b []byte) string {
 // AddView folds one timestamped apsys message view into the assembler with
 // the exact semantics of Add. Retained strings (user, job ID, command) are
 // copied out of the caller's buffer through the assembler's intern table.
+//
+//ldvet:pooled
+//ldvet:hotpath
 func (a *Assembler) AddView(at time.Time, v MessageView) error {
 	switch v.Kind {
 	case KindStarting:
@@ -210,6 +219,9 @@ func (a *Assembler) AddView(at time.Time, v MessageView) error {
 }
 
 // intern returns a canonical string for b, copying it at most once.
+//
+//ldvet:pooled
+//ldvet:hotpath
 func (a *Assembler) intern(b []byte) string {
 	if len(b) == 0 {
 		return ""
@@ -217,6 +229,7 @@ func (a *Assembler) intern(b []byte) string {
 	if s, ok := a.interned[string(b)]; ok {
 		return s
 	}
+	//ldvet:allow hotpath-alloc — first-sight copy into the intern cache
 	s := string(b)
 	a.interned[s] = s
 	return s

@@ -410,6 +410,9 @@ var apsysTagBytes = []byte(alps.Tag)
 // lines with the apsys tag, with identical skip/counted/error semantics.
 // The returned view aliases raw; callers must fold it (AddView copies what
 // it retains) before the buffer is reused.
+//
+//ldvet:pooled
+//ldvet:hotpath
 func checkApsysLineBytes(raw []byte, no int) (at time.Time, v alps.MessageView, counted, haveMsg bool, perr *parse.Error) {
 	lv, skip, perr := syslogx.CheckLineBytes(raw)
 	if skip {

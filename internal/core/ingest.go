@@ -218,6 +218,9 @@ type apsViewChunk struct {
 
 // parseApsysBlockBytes is parseApsysBlock on the byte-view fast path,
 // applying checkApsysLineBytes to every line of a numbered block.
+//
+//ldvet:pooled
+//ldvet:hotpath
 func parseApsysBlockBytes(b stream.Block, mode parse.Mode) (apsViewChunk, error) {
 	var c apsViewChunk
 	no := b.FirstLine - 1

@@ -53,6 +53,8 @@ type Pass struct {
 	Fset     *token.FileSet
 	Pkg      *Package
 
+	loader *Loader
+	state  *runState
 	report func(Diagnostic)
 }
 
@@ -63,6 +65,65 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// Dep returns the already-loaded module-local package with the given import
+// path, or nil. Analyzers use it to inspect the syntax (and markers) of a
+// dependency's declarations: the loader parses module-local imports from
+// source into the same FileSet, so positions resolve across packages.
+func (p *Pass) Dep(path string) *Package {
+	if p.loader == nil {
+		return nil
+	}
+	return p.loader.pkgs[path]
+}
+
+// Allowed reports whether a //ldvet:allow <what> suppression comment covers
+// pos (same line or the line directly above), and records the suppression
+// as used so the suppress audit does not flag it as stale.
+func (p *Pass) Allowed(file *ast.File, pos token.Pos, what string) bool {
+	line := p.Fset.Position(pos).Line
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			tok, ok := allowToken(c.Text)
+			if !ok || tok != what {
+				continue
+			}
+			cl := p.Fset.Position(c.Slash).Line
+			if cl == line || cl == line-1 {
+				if p.state != nil {
+					p.state.used[c] = true
+				}
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// runState is shared by every Pass of one Run invocation. It records which
+// suppression comments were actually consulted, so the suppress audit can
+// flag the stale ones.
+type runState struct {
+	used map[*ast.Comment]bool
+}
+
+// allowToken extracts the suppression token from a //ldvet:allow comment:
+// the first whitespace-delimited word after the marker ("regexp-compile" in
+// "//ldvet:allow regexp-compile — rationale"). Like //go: directives, the
+// marker must start the comment — a prose mention of the syntax elsewhere
+// in a comment is not a suppression. ok is false for comments that are not
+// allow markers at all.
+func allowToken(text string) (tok string, ok bool) {
+	rest, found := strings.CutPrefix(text, "//ldvet:allow")
+	if !found {
+		return "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", true // bare "//ldvet:allow": an allow marker with no token
+	}
+	return fields[0], true
 }
 
 // Diagnostic is one finding, with a resolved file position.
@@ -82,19 +143,37 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// Run executes the analyzers over the packages and returns all diagnostics
-// sorted by position.
-func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+// Run executes the analyzers over the packages (all loaded by l, whose
+// FileSet resolves every position) and returns all diagnostics sorted by
+// position. When the Suppress analyzer is among the analyzers, each package
+// is additionally audited for stale or unknown //ldvet:allow markers after
+// the real analyzers have consulted them.
+func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	fset := l.Fset()
 	var diags []Diagnostic
+	state := &runState{used: make(map[*ast.Comment]bool)}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	report := func(d Diagnostic) { diags = append(diags, d) }
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     fset,
 				Pkg:      pkg,
-				report:   func(d Diagnostic) { diags = append(diags, d) },
+				loader:   l,
+				state:    state,
+				report:   report,
 			}
 			a.Run(pass)
+		}
+		if ran[Suppress.Name] {
+			auditSuppressions(fset, pkg, state, ran, report)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -117,7 +196,7 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnost
 
 // Analyzers returns all analyzers the multichecker runs.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Exhaustive, PackageDoc, RegexpCompile}
+	return []*Analyzer{Exhaustive, Hotalloc, PackageDoc, PooledRetain, RegexpCompile, Suppress}
 }
 
 // hasMarker reports whether a //ldvet:... marker comment containing the

@@ -30,6 +30,21 @@ func TestRegexpCompile(t *testing.T) {
 	checkWants(t, "regexpcompile", ldvet.RegexpCompile)
 }
 
+func TestPooledRetain(t *testing.T) {
+	checkWants(t, "pooledretain", ldvet.PooledRetain)
+}
+
+func TestHotalloc(t *testing.T) {
+	checkWants(t, "hotalloc", ldvet.Hotalloc)
+}
+
+// TestSuppressAudit runs a real analyzer plus the suppress audit: a marker
+// the analyzer consulted stays silent, a stale marker and an unknown token
+// are reported.
+func TestSuppressAudit(t *testing.T) {
+	checkWants(t, "unusedsuppress", ldvet.RegexpCompile, ldvet.Suppress)
+}
+
 func TestPackageDoc(t *testing.T) {
 	// A directive-only comment above a package clause does not count as
 	// documentation; the diagnostic fires once, on the first file.
@@ -60,7 +75,7 @@ func TestRepoClean(t *testing.T) {
 			t.Errorf("type error in %s: %v", p.Path, terr)
 		}
 	}
-	diags := ldvet.Run(l.Fset(), pkgs, ldvet.Analyzers())
+	diags := ldvet.Run(l, pkgs, ldvet.Analyzers())
 	for _, d := range diags {
 		t.Errorf("unexpected diagnostic: %s", d)
 	}

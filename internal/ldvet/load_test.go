@@ -1,0 +1,82 @@
+package ldvet_test
+
+import (
+	"go/build"
+	"path/filepath"
+	"testing"
+
+	"logdiver/internal/ldvet"
+)
+
+// fileNames returns the base names of the files the loader selected for pkg.
+func fileNames(t *testing.T, l *ldvet.Loader, pkg *ldvet.Package) map[string]bool {
+	t.Helper()
+	names := make(map[string]bool, len(pkg.Files))
+	for _, f := range pkg.Files {
+		names[filepath.Base(l.Fset().Position(f.Package).Filename)] = true
+	}
+	return names
+}
+
+// TestLoadBuildTags loads a testdata package whose two impl files declare
+// the same function under complementary //go:build constraints. If the
+// loader ignored build tags it would parse both, and the package would fail
+// to type-check with a redeclaration error.
+func TestLoadBuildTags(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "buildtags")
+	l := ldvet.NewLoader(dir, "wanttest")
+	pkg, err := l.LoadDir(".")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("type error (build tags ignored?): %v", terr)
+	}
+
+	names := fileNames(t, l, pkg)
+	wantFile, otherFile := "impl_other.go", "impl_unix.go"
+	if unixGOOS[build.Default.GOOS] {
+		wantFile, otherFile = otherFile, wantFile
+	}
+	if !names[wantFile] {
+		t.Errorf("loader did not select %s for GOOS=%s; loaded %v", wantFile, build.Default.GOOS, names)
+	}
+	if names[otherFile] {
+		t.Errorf("loader selected %s despite its build constraint on GOOS=%s", otherFile, build.Default.GOOS)
+	}
+}
+
+// unixGOOS mirrors the platforms matched by the `unix` build constraint
+// that this module actually targets in CI and development.
+var unixGOOS = map[string]bool{
+	"linux": true, "darwin": true, "freebsd": true, "netbsd": true,
+	"openbsd": true, "dragonfly": true, "solaris": true, "aix": true,
+}
+
+// TestLoadStoreTailPair pins the real build-tagged pair in the module:
+// internal/store ships tail_unix.go and tail_other.go, and the loader must
+// pick exactly one so the repo-wide lint run type-checks the store package
+// the same way the compiler does.
+func TestLoadStoreTailPair(t *testing.T) {
+	root, path, err := ldvet.FindModule(".")
+	if err != nil {
+		t.Fatalf("FindModule: %v", err)
+	}
+	l := ldvet.NewLoader(root, path)
+	pkg, err := l.LoadDir(filepath.Join("internal", "store"))
+	if err != nil {
+		t.Fatalf("LoadDir(internal/store): %v", err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("type error in internal/store: %v", terr)
+	}
+
+	names := fileNames(t, l, pkg)
+	if names["tail_unix.go"] == names["tail_other.go"] {
+		t.Errorf("loader selected tail_unix.go=%v tail_other.go=%v; want exactly one",
+			names["tail_unix.go"], names["tail_other.go"])
+	}
+	if unixGOOS[build.Default.GOOS] && !names["tail_unix.go"] {
+		t.Errorf("on GOOS=%s the loader should pick tail_unix.go; loaded %v", build.Default.GOOS, names)
+	}
+}

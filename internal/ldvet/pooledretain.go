@@ -1,0 +1,428 @@
+package ldvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PooledRetain tracks byte views derived from pooled, recycled block
+// buffers and reports any escape of a view past the scope the pooling
+// contract grants it. PR 6's zero-allocation ingestion threads []byte
+// slices of stream.OrderedRecycledBlocks buffers through every scanner;
+// those buffers are recycled the moment the per-block callback returns, so
+// a view that outlives the callback — stored in a struct field or package
+// variable, captured by a goroutine, sent on a channel, returned up the
+// stack from a non-view function — silently aliases the NEXT block's bytes.
+// That is a use-after-recycle corruption bug that runtime tests only catch
+// probabilistically; this analyzer makes it a lint failure.
+//
+// The contract is expressed with //ldvet:pooled markers on function
+// declarations (doc comment or the line above): a pooled function's viewish
+// parameters and results are valid only until the dynamic extent of the
+// call ends. Taint seeds at those parameters and at the results of calls to
+// pooled functions, and propagates through assignments, field/index
+// selection, slicing, composite literals, append of view-typed elements,
+// and closures that capture tainted variables. Materializing copies break
+// the taint: string(b) conversions, byte-wise append (the destination owns
+// fresh bytes), and any call whose result type carries no views.
+//
+// Violations are suppressed with //ldvet:allow pooled-retain on the line
+// (or the line above) with a rationale for why the store is actually a
+// copy or otherwise safe.
+var PooledRetain = &Analyzer{
+	Name: "pooledretain",
+	Doc: "report pooled block-buffer byte views escaping their scope\n" +
+		"(//ldvet:pooled contract); suppress with //ldvet:allow pooled-retain",
+	Run: runPooledRetain,
+}
+
+const pooledMarker = "ldvet:pooled"
+
+func runPooledRetain(pass *Pass) {
+	pr := &pooledAnalysis{
+		pass:       pass,
+		localDecls: make(map[*types.Func]bool),
+		pooledMemo: make(map[*types.Func]bool),
+		viewMemo:   make(map[types.Type]int),
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if funcHasMarker(pass.Fset, file, fd, pooledMarker) {
+				if fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					pr.localDecls[fn] = true
+				}
+			}
+		}
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				pr.checkFunc(file, fd)
+			}
+		}
+	}
+}
+
+// pooledAnalysis is the per-package analyzer state.
+type pooledAnalysis struct {
+	pass       *Pass
+	localDecls map[*types.Func]bool // this package's //ldvet:pooled functions
+	pooledMemo map[*types.Func]bool // cross-package pooledness, memoized
+	viewMemo   map[types.Type]int   // 1 = clean, 2 = viewish
+}
+
+// funcHasMarker reports whether fd carries the marker in its doc comment or
+// on the line directly above the declaration.
+func funcHasMarker(fset *token.FileSet, file *ast.File, fd *ast.FuncDecl, marker string) bool {
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if strings.Contains(c.Text, marker) {
+				return true
+			}
+		}
+	}
+	return hasMarker(fset, file, fd.Pos(), marker)
+}
+
+// viewish reports whether values of type t can carry a pooled byte view:
+// []byte itself, and module-local named structs (recursively) with viewish
+// fields, plus slices/arrays/pointers/maps thereof. Strings are always
+// clean (immutable copies), and named types from outside the module are
+// trusted not to alias caller bytes.
+func (pr *pooledAnalysis) viewish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if v, ok := pr.viewMemo[t]; ok {
+		return v == 2
+	}
+	pr.viewMemo[t] = 1 // cycle guard: assume clean while computing
+	res := pr.viewish1(t)
+	if res {
+		pr.viewMemo[t] = 2
+	}
+	return res
+}
+
+func (pr *pooledAnalysis) viewish1(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Slice:
+		if b, ok := t.Elem().Underlying().(*types.Basic); ok {
+			return b.Kind() == types.Uint8 // []byte and named equivalents
+		}
+		return pr.viewish(t.Elem())
+	case *types.Array:
+		return pr.viewish(t.Elem())
+	case *types.Pointer:
+		return pr.viewish(t.Elem())
+	case *types.Map:
+		return pr.viewish(t.Key()) || pr.viewish(t.Elem())
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() == nil || !pr.moduleLocal(obj.Pkg().Path()) {
+			return false
+		}
+		return pr.viewish(t.Underlying())
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if pr.viewish(t.Field(i).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (pr *pooledAnalysis) moduleLocal(path string) bool {
+	m := pr.pass.Pkg.Module
+	return path == m || strings.HasPrefix(path, m+"/")
+}
+
+// funcPooled reports whether fn's declaration carries //ldvet:pooled,
+// resolving cross-package targets through the loader's shared FileSet.
+func (pr *pooledAnalysis) funcPooled(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if v, ok := pr.pooledMemo[fn]; ok {
+		return v
+	}
+	res := false
+	if fn.Pkg() == pr.pass.Pkg.Types {
+		res = pr.localDecls[fn]
+	} else if dep := pr.pass.Dep(fn.Pkg().Path()); dep != nil {
+		if file, fd := findFuncDecl(pr.pass.Fset, dep, fn.Pos()); fd != nil {
+			res = funcHasMarker(pr.pass.Fset, file, fd, pooledMarker)
+		}
+	}
+	pr.pooledMemo[fn] = res
+	return res
+}
+
+// findFuncDecl locates the FuncDecl whose name sits at pos in one of pkg's
+// files. pos comes from a *types.Func loaded by the same Loader, so the
+// positions are comparable.
+func findFuncDecl(fset *token.FileSet, pkg *Package, pos token.Pos) (*ast.File, *ast.FuncDecl) {
+	for _, file := range pkg.Files {
+		if pos < file.Pos() || pos > file.End() {
+			continue
+		}
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Pos() == pos {
+				return file, fd
+			}
+		}
+	}
+	return nil, nil
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes, or
+// nil for builtins, conversions and indirect calls through variables.
+func (pr *pooledAnalysis) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pr.pass.Pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// checkFunc runs the taint fixpoint over one function body, then a final
+// reporting pass once the tainted set is stable.
+func (pr *pooledAnalysis) checkFunc(file *ast.File, fd *ast.FuncDecl) {
+	fc := &funcCheck{
+		pr:      pr,
+		file:    file,
+		decl:    fd,
+		pooled:  funcHasMarker(pr.pass.Fset, file, fd, pooledMarker),
+		tainted: make(map[types.Object]bool),
+		params:  make(map[types.Object]bool),
+		seeds:   make(map[types.Object]bool),
+		fresh:   make(map[types.Object]bool),
+	}
+	fc.collectParams()
+	fc.computeFresh()
+	if fc.pooled {
+		// Seed the declared parameters only: the receiver is the callee's
+		// own long-lived state, not a view of the pooled buffer (copying
+		// bytes INTO it — EventBatch.Append — is exactly the sanctioned
+		// materialization).
+		for obj := range fc.seeds {
+			if pr.viewish(obj.Type()) {
+				fc.tainted[obj] = true
+			}
+		}
+	}
+	for i := 0; i < 16; i++ { // fixpoint: taint only grows, so this converges
+		fc.changed = false
+		fc.walkStmts(fd.Body.List, fc.pooled)
+		if !fc.changed {
+			break
+		}
+	}
+	fc.reporting = true
+	fc.walkStmts(fd.Body.List, fc.pooled)
+}
+
+// funcCheck is the per-function taint state.
+type funcCheck struct {
+	pr        *pooledAnalysis
+	file      *ast.File
+	decl      *ast.FuncDecl
+	pooled    bool
+	tainted   map[types.Object]bool
+	params    map[types.Object]bool // parameter and receiver objects
+	seeds     map[types.Object]bool // declared parameters (no receiver): pooled taint seeds
+	fresh     map[types.Object]bool // ref-typed locals only ever assigned fresh allocations
+	changed   bool
+	reporting bool
+}
+
+func (fc *funcCheck) info() *types.Info { return fc.pr.pass.Pkg.Info }
+
+func (fc *funcCheck) objOf(id *ast.Ident) types.Object {
+	if o := fc.info().Uses[id]; o != nil {
+		return o
+	}
+	return fc.info().Defs[id]
+}
+
+func (fc *funcCheck) collectParams() {
+	add := func(fl *ast.FieldList, seed bool) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := fc.info().Defs[name]; obj != nil {
+					fc.params[obj] = true
+					if seed {
+						fc.seeds[obj] = true
+					}
+				}
+			}
+		}
+	}
+	add(fc.decl.Recv, false)
+	add(fc.decl.Type.Params, true)
+}
+
+// computeFresh marks ref-typed locals (pointer/slice/map) that are only
+// ever assigned freshly allocated storage — composite literals, &lit, new,
+// make, self-append — so a store through them stays function-local. A
+// single assignment from anything else (a call result, a field, an index)
+// makes the variable an alias of caller-visible storage.
+func (fc *funcCheck) computeFresh() {
+	notFresh := make(map[types.Object]bool)
+	mark := func(id *ast.Ident, rhs ast.Expr) {
+		obj := fc.objOf(id)
+		if obj == nil || id.Name == "_" {
+			return
+		}
+		if rhs != nil && !fc.freshExpr(rhs, obj) {
+			notFresh[obj] = true
+		}
+	}
+	ast.Inspect(fc.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if id, ok := unparen(lhs).(*ast.Ident); ok {
+						mark(id, n.Rhs[i])
+					}
+				}
+			} else { // multi-value: call results are never fresh
+				for _, lhs := range n.Lhs {
+					if id, ok := unparen(lhs).(*ast.Ident); ok {
+						mark(id, n.Rhs[0])
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					mark(name, n.Values[i])
+				} // no value: zero value, fresh
+			}
+		case *ast.RangeStmt:
+			if id, ok := unparen(orNil(n.Value)).(*ast.Ident); ok && id != nil {
+				mark(id, n.X) // range values alias the container
+			}
+		}
+		return true
+	})
+	ast.Inspect(fc.decl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := fc.info().Defs[id]; obj != nil && !notFresh[obj] {
+				if _, isVar := obj.(*types.Var); isVar {
+					fc.fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func orNil(e ast.Expr) ast.Expr { return e }
+
+// freshExpr reports whether e denotes freshly allocated storage when
+// assigned to self (the variable being assigned, for self-append).
+func (fc *funcCheck) freshExpr(e ast.Expr, self types.Object) bool {
+	switch e := unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, lit := unparen(e.X).(*ast.CompositeLit)
+			return lit
+		}
+	case *ast.CallExpr:
+		if id, ok := unparen(e.Fun).(*ast.Ident); ok {
+			switch {
+			case fc.isBuiltin(id, "new"), fc.isBuiltin(id, "make"):
+				return true
+			case fc.isBuiltin(id, "append"):
+				if len(e.Args) == 0 {
+					return false
+				}
+				dst := unparen(e.Args[0])
+				for {
+					if s, ok := dst.(*ast.SliceExpr); ok {
+						dst = unparen(s.X)
+						continue
+					}
+					break
+				}
+				if id, ok := dst.(*ast.Ident); ok && fc.objOf(id) == self {
+					return true // self-append preserves freshness
+				}
+				return fc.freshExpr(e.Args[0], self)
+			}
+		}
+		// Conversions from string allocate a fresh copy.
+		if tv, ok := fc.info().Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			if at := fc.info().Types[e.Args[0]].Type; at != nil {
+				if b, ok := at.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					return true
+				}
+			}
+			if id, ok := unparen(e.Args[0]).(*ast.Ident); ok && id.Name == "nil" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (fc *funcCheck) isBuiltin(id *ast.Ident, name string) bool {
+	if id.Name != name {
+		return false
+	}
+	b, ok := fc.info().Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// taint marks obj tainted, recording the change for the fixpoint loop.
+func (fc *funcCheck) taint(obj types.Object) {
+	if obj == nil || fc.tainted[obj] {
+		return
+	}
+	fc.tainted[obj] = true
+	fc.changed = true
+}
+
+func (fc *funcCheck) violation(pos token.Pos, format string, args ...any) {
+	if !fc.reporting {
+		return
+	}
+	if fc.pr.pass.Allowed(fc.file, pos, "pooled-retain") {
+		return
+	}
+	fc.pr.pass.Reportf(pos, format, args...)
+}

@@ -1,0 +1,544 @@
+package ldvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the statement/expression walker behind PooledRetain: taint
+// propagation for one pass over a function body (checkFunc iterates it to a
+// fixpoint, then once more with reporting enabled).
+
+func (fc *funcCheck) walkStmts(list []ast.Stmt, retOK bool) {
+	for _, s := range list {
+		fc.walkStmt(s, retOK)
+	}
+}
+
+func (fc *funcCheck) walkStmt(s ast.Stmt, retOK bool) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.AssignStmt:
+		fc.assign(s)
+		for _, e := range s.Rhs {
+			fc.scanExpr(e)
+		}
+		for _, e := range s.Lhs {
+			fc.scanExpr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) && fc.exprTainted(vs.Values[i]) {
+						fc.taint(fc.objOf(name))
+					}
+				}
+				for _, v := range vs.Values {
+					fc.scanExpr(v)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		fc.scanExpr(s.X)
+	case *ast.GoStmt:
+		fc.goViolations(s.Call)
+		fc.scanExpr(s.Call)
+	case *ast.DeferStmt:
+		fc.scanExpr(s.Call)
+	case *ast.SendStmt:
+		if fc.exprTainted(s.Value) {
+			fc.violation(s.Arrow,
+				"sends a pooled block-buffer view on a channel; the receiver reads it after the buffer is recycled — copy first (string(b) or append)")
+		}
+		fc.scanExpr(s.Chan)
+		fc.scanExpr(s.Value)
+	case *ast.ReturnStmt:
+		if !retOK {
+			fc.returnViolations(s)
+		}
+		for _, r := range s.Results {
+			fc.scanExpr(r)
+		}
+	case *ast.IfStmt:
+		fc.walkStmt(s.Init, retOK)
+		fc.scanExpr(s.Cond)
+		fc.walkStmt(s.Body, retOK)
+		fc.walkStmt(s.Else, retOK)
+	case *ast.ForStmt:
+		fc.walkStmt(s.Init, retOK)
+		if s.Cond != nil {
+			fc.scanExpr(s.Cond)
+		}
+		fc.walkStmt(s.Post, retOK)
+		fc.walkStmt(s.Body, retOK)
+	case *ast.RangeStmt:
+		fc.rangeTaint(s)
+		fc.scanExpr(s.X)
+		fc.walkStmt(s.Body, retOK)
+	case *ast.SwitchStmt:
+		fc.walkStmt(s.Init, retOK)
+		if s.Tag != nil {
+			fc.scanExpr(s.Tag)
+		}
+		fc.walkStmt(s.Body, retOK)
+	case *ast.TypeSwitchStmt:
+		fc.walkStmt(s.Init, retOK)
+		fc.typeSwitch(s)
+		fc.walkStmt(s.Body, retOK)
+	case *ast.SelectStmt:
+		fc.walkStmt(s.Body, retOK)
+	case *ast.CommClause:
+		fc.walkStmt(s.Comm, retOK)
+		fc.walkStmts(s.Body, retOK)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			fc.scanExpr(e)
+		}
+		fc.walkStmts(s.Body, retOK)
+	case *ast.BlockStmt:
+		fc.walkStmts(s.List, retOK)
+	case *ast.LabeledStmt:
+		fc.walkStmt(s.Stmt, retOK)
+	case *ast.IncDecStmt:
+		fc.scanExpr(s.X)
+	}
+}
+
+// assign propagates taint through one assignment and reports stores of
+// tainted values into storage that outlives the function.
+func (fc *funcCheck) assign(a *ast.AssignStmt) {
+	if len(a.Lhs) == len(a.Rhs) {
+		for i, lhs := range a.Lhs {
+			if fc.exprTainted(a.Rhs[i]) {
+				fc.storeTainted(lhs)
+			}
+		}
+		return
+	}
+	// Multi-value: x, y := f() / v, ok := m[k] — taint every viewish LHS
+	// when the single RHS is tainted.
+	if len(a.Rhs) == 1 && fc.exprTainted(a.Rhs[0]) {
+		for _, lhs := range a.Lhs {
+			if fc.viewishExpr(lhs) {
+				fc.storeTainted(lhs)
+			}
+		}
+	}
+}
+
+// storeTainted handles "lhs = <tainted>": taint local destinations,
+// report stores into caller-visible storage.
+func (fc *funcCheck) storeTainted(lhs ast.Expr) {
+	lhs = unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		obj := fc.objOf(id)
+		if obj == nil {
+			return
+		}
+		if fc.pkgLevel(obj) {
+			fc.violation(id.Pos(),
+				"assigns a pooled block-buffer view to package variable %s; the buffer is recycled after the block callback returns — copy first", id.Name)
+			return
+		}
+		fc.taint(obj)
+		return
+	}
+	root := rootIdent(lhs)
+	if root == nil {
+		fc.violation(lhs.Pos(),
+			"stores a pooled block-buffer view through an expression the analyzer cannot prove local; copy first or annotate //ldvet:allow pooled-retain")
+		return
+	}
+	obj := fc.objOf(root)
+	if obj == nil {
+		return
+	}
+	if fc.localRoot(obj) {
+		fc.taint(obj)
+		return
+	}
+	switch {
+	case fc.pkgLevel(obj):
+		fc.violation(lhs.Pos(),
+			"stores a pooled block-buffer view into package-level %s; the buffer is recycled after the block callback returns — copy first", root.Name)
+	case fc.params[obj]:
+		fc.violation(lhs.Pos(),
+			"stores a pooled block-buffer view into %s, which the caller retains past this call; copy first (string(b), append, or errlog.EventBatch)", root.Name)
+	default:
+		fc.violation(lhs.Pos(),
+			"stores a pooled block-buffer view into %s, which aliases storage that outlives this function; copy first", root.Name)
+	}
+}
+
+// localRoot reports whether stores through obj stay function-local: value
+// typed locals always, ref-typed locals only when every assignment gave
+// them fresh storage. Parameters, receivers and package vars never.
+func (fc *funcCheck) localRoot(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || fc.pkgLevel(obj) {
+		return false
+	}
+	switch v.Type().Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface:
+		return !fc.params[obj] && fc.fresh[obj]
+	}
+	return !fc.params[obj] || !isRefParam(v) // value params are local copies
+}
+
+func isRefParam(v *types.Var) bool {
+	switch v.Type().Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface:
+		return true
+	}
+	return false
+}
+
+func (fc *funcCheck) pkgLevel(obj types.Object) bool {
+	return obj.Parent() == fc.pr.pass.Pkg.Types.Scope()
+}
+
+// rootIdent unwraps selectors, indexing, slicing and dereferences down to
+// the base identifier of an lvalue, or nil when the base is not an ident.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func (fc *funcCheck) goViolations(call *ast.CallExpr) {
+	for _, a := range call.Args {
+		if fc.exprTainted(a) {
+			fc.violation(a.Pos(),
+				"passes a pooled block-buffer view to a goroutine, which runs after the buffer is recycled; copy first")
+		}
+	}
+	if fc.exprTainted(call.Fun) {
+		fc.violation(call.Fun.Pos(),
+			"starts a goroutine that captures a pooled block-buffer view; the goroutine runs after the buffer is recycled — copy into a local first")
+	}
+}
+
+func (fc *funcCheck) returnViolations(s *ast.ReturnStmt) {
+	for _, r := range s.Results {
+		if fc.exprTainted(r) {
+			fc.violation(r.Pos(),
+				"returns a pooled block-buffer view from a function not marked //ldvet:pooled; the caller has no recycling contract — copy, or mark the function //ldvet:pooled")
+		}
+	}
+	if len(s.Results) == 0 && fc.decl.Type.Results != nil { // naked return
+		for _, f := range fc.decl.Type.Results.List {
+			for _, name := range f.Names {
+				if obj := fc.info().Defs[name]; obj != nil && fc.tainted[obj] {
+					fc.violation(s.Pos(),
+						"naked return of tainted named result %s from a function not marked //ldvet:pooled; copy, or mark the function //ldvet:pooled", name.Name)
+				}
+			}
+		}
+	}
+}
+
+func (fc *funcCheck) rangeTaint(s *ast.RangeStmt) {
+	if !fc.exprTainted(s.X) {
+		return
+	}
+	for _, e := range []ast.Expr{s.Key, s.Value} {
+		if e == nil {
+			continue
+		}
+		if id, ok := unparen(e).(*ast.Ident); ok && fc.viewishExpr(id) {
+			fc.taint(fc.objOf(id))
+		}
+	}
+}
+
+func (fc *funcCheck) typeSwitch(s *ast.TypeSwitchStmt) {
+	var x ast.Expr
+	switch a := s.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			if ta, ok := unparen(a.Rhs[0]).(*ast.TypeAssertExpr); ok {
+				x = ta.X
+			}
+		}
+	case *ast.ExprStmt:
+		if ta, ok := unparen(a.X).(*ast.TypeAssertExpr); ok {
+			x = ta.X
+		}
+	}
+	if x == nil || !fc.exprTainted(x) {
+		return
+	}
+	for _, stmt := range s.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if obj := fc.info().Implicits[clause]; obj != nil && fc.pr.viewish(obj.Type()) {
+			fc.taint(obj)
+		}
+	}
+}
+
+// scanExpr walks an expression to find nested function literals (analyzing
+// their bodies in the shared taint context, seeding callback parameters
+// when the callee is pooled or a sibling argument is tainted) and nested
+// calls.
+func (fc *funcCheck) scanExpr(e ast.Expr) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		pooled := fc.pr.funcPooled(fc.pr.calleeFunc(e))
+		anyTainted := false
+		if sel, ok := unparen(e.Fun).(*ast.SelectorExpr); ok && fc.exprTainted(sel.X) {
+			anyTainted = true
+		}
+		for _, a := range e.Args {
+			if _, isLit := unparen(a).(*ast.FuncLit); !isLit && fc.exprTainted(a) {
+				anyTainted = true
+			}
+		}
+		if lit, ok := unparen(e.Fun).(*ast.FuncLit); ok {
+			if anyTainted {
+				fc.seedParams(lit)
+			}
+			fc.analyzeFuncLit(lit)
+		} else {
+			fc.scanExpr(e.Fun)
+		}
+		for _, a := range e.Args {
+			if lit, ok := unparen(a).(*ast.FuncLit); ok {
+				if pooled || anyTainted {
+					fc.seedParams(lit)
+				}
+				fc.analyzeFuncLit(lit)
+			} else {
+				fc.scanExpr(a)
+			}
+		}
+	case *ast.FuncLit:
+		fc.analyzeFuncLit(e)
+	case *ast.ParenExpr:
+		fc.scanExpr(e.X)
+	case *ast.SelectorExpr:
+		fc.scanExpr(e.X)
+	case *ast.IndexExpr:
+		fc.scanExpr(e.X)
+		fc.scanExpr(e.Index)
+	case *ast.IndexListExpr:
+		fc.scanExpr(e.X)
+		for _, i := range e.Indices {
+			fc.scanExpr(i)
+		}
+	case *ast.SliceExpr:
+		fc.scanExpr(e.X)
+		fc.scanExpr(e.Low)
+		fc.scanExpr(e.High)
+		fc.scanExpr(e.Max)
+	case *ast.StarExpr:
+		fc.scanExpr(e.X)
+	case *ast.UnaryExpr:
+		fc.scanExpr(e.X)
+	case *ast.BinaryExpr:
+		fc.scanExpr(e.X)
+		fc.scanExpr(e.Y)
+	case *ast.KeyValueExpr:
+		fc.scanExpr(e.Value)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			fc.scanExpr(el)
+		}
+	case *ast.TypeAssertExpr:
+		fc.scanExpr(e.X)
+	}
+}
+
+// seedParams taints the viewish parameters of a callback literal: the
+// caller hands it views of the current pooled block.
+func (fc *funcCheck) seedParams(lit *ast.FuncLit) {
+	if lit.Type.Params == nil {
+		return
+	}
+	for _, f := range lit.Type.Params.List {
+		for _, name := range f.Names {
+			if obj := fc.info().Defs[name]; obj != nil && fc.pr.viewish(obj.Type()) {
+				fc.taint(obj)
+			}
+		}
+	}
+}
+
+// analyzeFuncLit walks a literal's body in the shared context. Returns of
+// tainted values from a literal are legal — the escape is caught where the
+// closure VALUE escapes (it is tainted by capture, so storing it globally,
+// returning it, or launching it as a goroutine reports).
+func (fc *funcCheck) analyzeFuncLit(lit *ast.FuncLit) {
+	fc.walkStmts(lit.Body.List, true)
+}
+
+// exprTainted reports whether evaluating e can yield a pooled view.
+func (fc *funcCheck) exprTainted(e ast.Expr) bool {
+	switch e := e.(type) {
+	case nil:
+		return false
+	case *ast.Ident:
+		obj := fc.objOf(e)
+		return obj != nil && fc.tainted[obj]
+	case *ast.ParenExpr:
+		return fc.exprTainted(e.X)
+	case *ast.SelectorExpr:
+		return fc.viewishExpr(e) && fc.exprTainted(e.X)
+	case *ast.IndexExpr:
+		return fc.viewishExpr(e) && fc.exprTainted(e.X)
+	case *ast.SliceExpr:
+		return fc.exprTainted(e.X)
+	case *ast.StarExpr:
+		return fc.exprTainted(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return fc.exprTainted(e.X)
+		}
+		return false
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if fc.exprTainted(el) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		return fc.callTainted(e)
+	case *ast.TypeAssertExpr:
+		return fc.viewishExpr(e) && fc.exprTainted(e.X)
+	case *ast.FuncLit:
+		return fc.capturesTainted(e)
+	}
+	return false
+}
+
+func (fc *funcCheck) viewishExpr(e ast.Expr) bool {
+	tv, ok := fc.info().Types[e]
+	if !ok {
+		if id, isID := e.(*ast.Ident); isID {
+			if obj := fc.objOf(id); obj != nil {
+				return fc.pr.viewish(obj.Type())
+			}
+		}
+		return false
+	}
+	return fc.pr.viewish(tv.Type)
+}
+
+// callTainted classifies call results. Conversions to string and byte-wise
+// appends materialize copies (clean); view-typed results are tainted when
+// the callee is pooled or any input is tainted.
+func (fc *funcCheck) callTainted(call *ast.CallExpr) bool {
+	// Conversion T(x).
+	if tv, ok := fc.info().Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if !fc.pr.viewish(tv.Type) {
+			return false // string(b) and friends: a fresh copy
+		}
+		return fc.exprTainted(call.Args[0])
+	}
+	// Builtins.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := fc.info().Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				if len(call.Args) == 0 {
+					return false
+				}
+				if st, ok := fc.info().Types[call.Args[0]].Type.Underlying().(*types.Slice); ok {
+					if bt, ok := st.Elem().Underlying().(*types.Basic); ok && bt.Kind() == types.Uint8 {
+						// Appending bytes copies them into dst; the result
+						// aliases only the destination.
+						return fc.exprTainted(call.Args[0])
+					}
+				}
+				for _, a := range call.Args {
+					if fc.exprTainted(a) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+	}
+	// Regular call: only view-carrying results can be tainted.
+	rt := fc.info().Types[call].Type
+	viewResult := false
+	if tuple, ok := rt.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if fc.pr.viewish(tuple.At(i).Type()) {
+				viewResult = true
+			}
+		}
+	} else {
+		viewResult = fc.pr.viewish(rt)
+	}
+	if !viewResult {
+		return false
+	}
+	if fc.pr.funcPooled(fc.pr.calleeFunc(call)) {
+		return true
+	}
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && fc.exprTainted(sel.X) {
+		return true
+	}
+	for _, a := range call.Args {
+		if fc.exprTainted(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// capturesTainted reports whether a function literal references a tainted
+// variable declared outside itself.
+func (fc *funcCheck) capturesTainted(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := fc.info().Uses[id]
+		if obj == nil || !fc.tainted[obj] {
+			return true
+		}
+		if obj.Pos() < lit.Pos() || obj.Pos() >= lit.End() {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -68,7 +68,7 @@ func runRegexpCompile(pass *Pass) {
 			if !inFunction(call.Pos()) {
 				return true
 			}
-			if hasMarker(pass.Fset, file, call.Pos(), "ldvet:allow regexp-compile") {
+			if pass.Allowed(file, call.Pos(), "regexp-compile") {
 				return true
 			}
 			pass.Reportf(call.Pos(),

@@ -1,0 +1,6 @@
+// Package buildtags exercises the loader's build-constraint handling: the
+// two impl files declare the same function under complementary //go:build
+// lines, so the package only type-checks if exactly one is selected.
+package buildtags
+
+var _ = platform

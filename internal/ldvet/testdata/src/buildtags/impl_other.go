@@ -1,0 +1,5 @@
+//go:build !unix
+
+package buildtags
+
+func platform() string { return "other" }

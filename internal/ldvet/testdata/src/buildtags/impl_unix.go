@@ -1,0 +1,8 @@
+//go:build unix
+
+package buildtags
+
+// platform is redeclared in impl_other.go under the complementary build
+// constraint: loading both files into one package is a redeclaration type
+// error, so the loader test fails loudly if tags are ever ignored.
+func platform() string { return "unix" }

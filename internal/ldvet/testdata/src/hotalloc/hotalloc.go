@@ -1,0 +1,146 @@
+// Package hotalloc exercises the hotalloc analyzer: functions marked
+// //ldvet:hotpath must not introduce per-call allocations, with sanctioned
+// exceptions (compiler-optimized string(b) forms, error paths, explicit
+// //ldvet:allow hotpath-alloc markers).
+package hotalloc
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var lookup = map[string]int{"a": 1}
+
+var linePattern = regexp.MustCompile(`^[a-z]+`)
+
+type counter struct {
+	seen map[string]int
+}
+
+// --- violations ---
+
+//ldvet:hotpath
+func convAlloc(b []byte) string {
+	return string(b) // want `string\(b\) materializes a copy on every call`
+}
+
+//ldvet:hotpath
+func fmtCall(b []byte) string {
+	return fmt.Sprintf("%d", len(b)) // want `fmt.Sprintf allocates`
+}
+
+//ldvet:hotpath
+func stringsCall(s string) []string {
+	return strings.Split(s, ",") // want `strings.Split allocates its result`
+}
+
+//ldvet:hotpath
+func regexpCall(b []byte) bool {
+	return regexp.MustCompile(`^[a-z]+`).Match(b) // want `regexp.MustCompile compiles/allocates per call`
+}
+
+//ldvet:hotpath
+func mapMake() map[string]int {
+	return make(map[string]int) // want `make\(map\) allocates on every call`
+}
+
+//ldvet:hotpath
+func mapLit() map[string]int {
+	return map[string]int{"a": 1} // want `map literal allocates on every call`
+}
+
+//ldvet:hotpath
+func sliceLit() []int {
+	return []int{1, 2, 3} // want `slice literal allocates on every call`
+}
+
+//ldvet:hotpath
+func twoArgMake(n int) []byte {
+	return make([]byte, n) // want `2-arg make\(\[\]T, n\) allocates without an amortization capacity`
+}
+
+//ldvet:hotpath
+func ptrLit(n int) *counter {
+	return &counter{} // want `&composite literal allocates on every call`
+}
+
+//ldvet:hotpath
+func newAlloc() *int {
+	return new(int) // want `new\(T\) allocates on every call`
+}
+
+//ldvet:hotpath
+func growAppend(b []byte) []int {
+	var out []int
+	for _, c := range b {
+		out = append(out, int(c)) // want `append to out grows an unpreallocated slice`
+	}
+	return out
+}
+
+func takeAny(v any) {}
+
+type pair struct{ a, b int }
+
+//ldvet:hotpath
+func boxing(p pair) {
+	takeAny(p) // want `passing pair by value to an interface parameter boxes it`
+}
+
+// --- clean code: optimized forms, error paths, amortized buffers ---
+
+//ldvet:hotpath
+func mapIndex(b []byte) int {
+	return lookup[string(b)] // compiler-optimized: no allocation
+}
+
+//ldvet:hotpath
+func compare(b []byte, s string) bool {
+	return string(b) == s // compiler-optimized comparison
+}
+
+//ldvet:hotpath
+func errorPath(b []byte) (int, error) {
+	n, err := strconv.Atoi(string(b)) // error-returning call: cold by convention
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q: %w", string(b), err) // error construction is cold
+	}
+	return n, nil
+}
+
+//ldvet:hotpath
+func amortized(n int) []byte {
+	buf := make([]byte, 0, n) // 3-arg make: preallocated capacity
+	for i := 0; i < n; i++ {
+		buf = append(buf, byte(i))
+	}
+	return buf
+}
+
+//ldvet:hotpath
+func compiledPattern(b []byte) bool {
+	return linePattern.Match(b) // method on a hoisted pattern: sanctioned
+}
+
+//ldvet:hotpath
+func pointerArg(c *counter) {
+	takeAny(c) // pointers do not heap-allocate when boxed
+}
+
+//ldvet:hotpath
+func structValue(a, b int) pair {
+	return pair{a: a, b: b} // struct VALUE literal: stack, not heap
+}
+
+//ldvet:hotpath
+func suppressed(b []byte) string {
+	//ldvet:allow hotpath-alloc — first-sight cache fill, amortized across the run
+	return string(b)
+}
+
+// coldHelper is NOT marked hotpath: nothing here is flagged.
+func coldHelper(b []byte) string {
+	return fmt.Sprintf("%s", strings.ToUpper(string(b)))
+}

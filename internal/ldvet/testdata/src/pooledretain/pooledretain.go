@@ -1,0 +1,184 @@
+// Package pooledretain exercises the pooledretain analyzer: functions
+// marked //ldvet:pooled hand out byte views of a recycled buffer, and any
+// escape of a view past the call's dynamic extent must be reported.
+package pooledretain
+
+var (
+	global       []byte
+	globalStr    string
+	globalBuf    []byte
+	globalMap    = map[string][]byte{}
+	globalBlocks = make([]Block, 1)
+	globalRecs   []Record
+	globalIDs    []string
+	hook         func() int
+	ch           = make(chan []byte, 1)
+)
+
+// Block mimics a pooled block carrier: a module-local struct with a view
+// field is itself viewish.
+type Block struct {
+	Data []byte
+}
+
+// Record carries a view field plus clean fields.
+type Record struct {
+	ID  []byte
+	Seq int
+}
+
+var scratch [64]byte
+
+// currentLine returns a view of the shared scratch buffer, valid only
+// until the next call.
+//
+//ldvet:pooled
+func currentLine() []byte {
+	return scratch[:]
+}
+
+// forEachLine is a pooled iterator: the callback's view argument is only
+// valid for the duration of one invocation.
+//
+//ldvet:pooled
+func forEachLine(data []byte, fn func(line []byte)) {
+	fn(data)
+}
+
+func process(b []byte) int { return len(b) }
+
+// --- violations ---
+
+//ldvet:pooled
+func storeGlobal(view []byte) {
+	global = view // want `assigns a pooled block-buffer view to package variable global`
+}
+
+// sink demonstrates the struct-field retention case.
+type sink struct {
+	view []byte
+}
+
+//ldvet:pooled
+func (s *sink) retain(view []byte) {
+	s.view = view // want `stores a pooled block-buffer view into s, which the caller retains`
+}
+
+//ldvet:pooled
+func stashMap(key string, view []byte) {
+	globalMap[key] = view // want `stores a pooled block-buffer view into package-level globalMap`
+}
+
+//ldvet:pooled
+func stashSlice(view []byte) {
+	globalBlocks[0].Data = view // want `stores a pooled block-buffer view into package-level globalBlocks`
+}
+
+//ldvet:pooled
+func spawn(view []byte) {
+	go func() { // want `starts a goroutine that captures a pooled block-buffer view`
+		global = append([]byte(nil), view...)
+	}()
+}
+
+//ldvet:pooled
+func spawnArg(view []byte) {
+	go process(view) // want `passes a pooled block-buffer view to a goroutine`
+}
+
+//ldvet:pooled
+func send(view []byte) {
+	ch <- view // want `sends a pooled block-buffer view on a channel`
+}
+
+// leak returns a view from a function without a pooling contract: its
+// caller has no way to know the bytes go stale.
+func leak() []byte {
+	line := currentLine()
+	return line // want `returns a pooled block-buffer view from a function not marked`
+}
+
+// install demonstrates the closure-capture case: the closure outlives the
+// view it closed over.
+//
+//ldvet:pooled
+func install(view []byte) {
+	hook = func() int { // want `assigns a pooled block-buffer view to package variable hook`
+		return len(view)
+	}
+}
+
+func leakFromCallback() {
+	forEachLine(currentLine(), func(line []byte) {
+		global = line // want `assigns a pooled block-buffer view to package variable global`
+	})
+}
+
+type record struct{ Data []byte }
+
+type table struct{ recs map[string]*record }
+
+//ldvet:pooled
+func (t *table) fillAliased(key string, view []byte) {
+	r := t.recs[key] // r aliases storage the table retains
+	r.Data = view    // want `stores a pooled block-buffer view into r, which aliases storage`
+}
+
+//ldvet:pooled
+func (t *table) insert(key string, view []byte) {
+	r := &record{}
+	r.Data = view   // fine so far: r is fresh and local
+	t.recs[key] = r // want `stores a pooled block-buffer view into t, which the caller retains`
+}
+
+// collect shows taint riding inside a view-carrying struct.
+func collect() {
+	rec := Record{ID: currentLine()}
+	globalRecs = append(globalRecs, rec) // want `assigns a pooled block-buffer view to package variable globalRecs`
+}
+
+// --- clean code: explicit copies, local work, pooled returns ---
+
+//ldvet:pooled
+func okCopies(view []byte) {
+	globalStr = string(view)                 // string() materializes a copy
+	globalBuf = append([]byte(nil), view...) // byte append copies into fresh storage
+	n := globalMap[string(view)]             // map index conversion is a lookup, not a store
+	local := view
+	tail := local[1:]
+	_, _ = n, tail
+}
+
+//ldvet:pooled
+func subfield(view []byte) []byte {
+	i := 0
+	for i < len(view) && view[i] != ' ' {
+		i++
+	}
+	return view[:i] // a pooled function may hand the view onward
+}
+
+func sumLines() int {
+	total := 0
+	forEachLine(currentLine(), func(line []byte) {
+		total += len(line) // reading in the callback is the intended use
+	})
+	return total
+}
+
+func collectSafe() {
+	rec := Record{ID: currentLine()}
+	globalIDs = append(globalIDs, string(rec.ID)) // copy before the store
+}
+
+//ldvet:pooled
+func (t *table) insertCopy(key string, view []byte) {
+	r := &record{Data: append([]byte(nil), view...)}
+	t.recs[key] = r // r carries only fresh bytes
+}
+
+//ldvet:pooled
+func suppressed(view []byte) {
+	//ldvet:allow pooled-retain — exercising the suppression marker
+	global = view
+}

@@ -1,0 +1,19 @@
+// Package unusedsuppress exercises the suppress audit: a //ldvet:allow
+// marker that no analyzer consulted is stale, and a token naming no known
+// check never worked.
+package unusedsuppress
+
+import "regexp"
+
+func used(p string) *regexp.Regexp {
+	//ldvet:allow regexp-compile — a per-call compile is the point here
+	return regexp.MustCompile(p)
+}
+
+func stale() int {
+	//ldvet:allow regexp-compile // want `unused suppression: no regexpcompile diagnostic`
+	return 42
+}
+
+//ldvet:allow no-such-check // want `//ldvet:allow no-such-check names no known check`
+var answer = 42

@@ -35,7 +35,7 @@ func CheckWants(dir string, analyzers ...*Analyzer) ([]WantError, error) {
 	if len(pkg.TypeErrors) > 0 {
 		return nil, fmt.Errorf("ldvet: test package %s does not type-check: %v", dir, pkg.TypeErrors[0])
 	}
-	diags := Run(l.Fset(), []*Package{pkg}, analyzers)
+	diags := Run(l, []*Package{pkg}, analyzers)
 
 	type want struct {
 		re      *regexp.Regexp

@@ -14,6 +14,9 @@ import (
 
 // Blank reports whether the line is empty or whitespace-only, matching
 // strings.TrimSpace(string(b)) == "".
+//
+//ldvet:pooled
+//ldvet:hotpath
 func Blank(b []byte) bool {
 	return len(bytes.TrimSpace(b)) == 0
 }
@@ -30,6 +33,9 @@ func truncString(b []byte) string {
 // CheckLineBytes is CheckLine over a byte view: the line must fit
 // MaxLineBytes, carry no NUL bytes, and be valid UTF-8. It allocates only
 // when building an error.
+//
+//ldvet:pooled
+//ldvet:hotpath
 func CheckLineBytes(b []byte) *Error {
 	if len(b) > MaxLineBytes {
 		return Errorf(KindOversize, truncString(b), "line exceeds %d bytes (%d)", MaxLineBytes, len(b))
@@ -45,6 +51,9 @@ func CheckLineBytes(b []byte) *Error {
 
 // Atoi parses b with the exact acceptance of strconv.Atoi, without
 // allocating. ok is false on any input strconv.Atoi would reject.
+//
+//ldvet:pooled
+//ldvet:hotpath
 func Atoi(b []byte) (int, bool) {
 	s := b
 	neg := false
@@ -73,6 +82,9 @@ func Atoi(b []byte) (int, bool) {
 
 // ParseInt64 parses b with the exact acceptance of
 // strconv.ParseInt(string(b), 10, 64), without allocating.
+//
+//ldvet:pooled
+//ldvet:hotpath
 func ParseInt64(b []byte) (int64, bool) {
 	s := b
 	neg := false
@@ -99,6 +111,9 @@ func ParseInt64(b []byte) (int64, bool) {
 
 // ParseUint64 parses b with the exact acceptance of
 // strconv.ParseUint(string(b), 10, 64), without allocating.
+//
+//ldvet:pooled
+//ldvet:hotpath
 func ParseUint64(b []byte) (uint64, bool) {
 	// 19 digits cannot overflow uint64.
 	if len(b) == 0 || len(b) > 19 {

@@ -344,6 +344,9 @@ func (l *LineReader) Next() (line string, lineNo int, ok bool) {
 // NextBytes is the zero-allocation form of Next: the returned slice is a
 // view into the reader's internal buffer and is only valid until the next
 // NextBytes (or Next) call. Callers that retain line content must copy it.
+//
+//ldvet:pooled
+//ldvet:hotpath
 func (l *LineReader) NextBytes() (line []byte, lineNo int, ok bool) {
 	if l.err != nil || l.done {
 		return nil, 0, false

@@ -27,6 +27,11 @@
 //   - superlinear: nested unbounded quantifiers; Go's RE2 engine stays
 //     linear, but site rule files are routinely reused with backtracking
 //     engines where these patterns blow up (warning)
+//   - prefilter-unsound: the literal prefilter the classifier extracts from
+//     the rule's regexp has desynchronized from the regexp itself — it
+//     rejects a string the regexp matches, or (tier-1 ordered chains) it
+//     accepts a newline-free string the regexp rejects — verified
+//     differentially with synthesized witnesses and seeded mutations (error)
 //
 // Findings carry the rule name, the rule-file line when known, a
 // machine-readable check identifier and a severity, so they can be rendered
@@ -142,6 +147,7 @@ func Check(rules []taxonomy.LocatedRule, opts Options) []Finding {
 	checkShadowing(rules, infos, corpus, opts.MaxWitnesses, add, at)
 	checkCoverage(rules, add)
 	checkSeverities(rules, add)
+	checkPrefilters(rules, opts.MaxWitnesses, add)
 
 	if len(fs) == 0 {
 		return nil

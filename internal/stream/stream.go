@@ -107,6 +107,8 @@ var blockBufPool = sync.Pool{
 // block; ownership of the buffer passes to the emit callback, which must
 // return it to blockBufPool once the block bytes are no longer referenced.
 // Buffers never returned (early stop, error) are simply collected.
+//
+//ldvet:pooled
 func pooledNumberedBlocks(r io.Reader, blockSize int, emit func(b Block, buf *[]byte) bool) error {
 	if blockSize < 1 {
 		blockSize = DefaultBlockSize
@@ -160,6 +162,8 @@ func pooledNumberedBlocks(r io.Reader, blockSize int, emit func(b Block, buf *[]
 // retain any bytes of the block past consume's return — everything kept must
 // be copied (or interned) first. In exchange the steady-state ingestion path
 // stops allocating one fresh block per DefaultBlockSize of input.
+//
+//ldvet:pooled
 func OrderedRecycledBlocks[Out any](r io.Reader, blockSize, workers int, apply func(b Block) (Out, error), consume func(Out) error) error {
 	type job struct {
 		b   Block
@@ -192,6 +196,9 @@ func OrderedRecycledBlocks[Out any](r io.Reader, blockSize, workers int, apply f
 // bufio.ScanLines: lines are terminated by '\n', one trailing '\r' is
 // stripped, and a final unterminated line is still yielded. Empty lines are
 // yielded too; skipping them is caller policy.
+//
+//ldvet:pooled
+//ldvet:hotpath
 func ForEachLine(block []byte, fn func(line []byte)) {
 	for len(block) > 0 {
 		var line []byte

@@ -48,6 +48,9 @@ func (v LineView) Materialize() Line {
 // (skip == true), lines failing the shared encoding/oversize checks or the
 // format parse return a typed *parse.Error, and everything else yields the
 // parsed LineView. It allocates only on malformed or non-canonical input.
+//
+//ldvet:pooled
+//ldvet:hotpath
 func CheckLineBytes(b []byte) (v LineView, skip bool, perr *parse.Error) {
 	if parse.Blank(b) {
 		return LineView{}, true, nil
@@ -108,6 +111,9 @@ func truncLine(b []byte) string {
 // allocating. ok is false for anything else (including numeric zone
 // offsets, which are rare and routed through time.Parse so Local-zone
 // resolution matches exactly).
+//
+//ldvet:pooled
+//ldvet:hotpath
 func parseStampFast(b []byte) (time.Time, bool) {
 	if len(b) != 27 || b[26] != 'Z' {
 		return time.Time{}, false
@@ -134,6 +140,7 @@ func parseStampFast(b []byte) (time.Time, bool) {
 	return time.Date(year, time.Month(mo), day, hour, min, sec, micro*1000, time.UTC), true
 }
 
+//ldvet:hotpath
 func digits2(a, b byte) (int, bool) {
 	if a < '0' || a > '9' || b < '0' || b > '9' {
 		return 0, false
@@ -141,6 +148,7 @@ func digits2(a, b byte) (int, bool) {
 	return int(a-'0')*10 + int(b-'0'), true
 }
 
+//ldvet:hotpath
 func digits4(b []byte) (int, bool) {
 	n := 0
 	for _, c := range b {
@@ -152,6 +160,7 @@ func digits4(b []byte) (int, bool) {
 	return n, true
 }
 
+//ldvet:hotpath
 func digits6(b []byte) (int, bool) {
 	n := 0
 	for _, c := range b {

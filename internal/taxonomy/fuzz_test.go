@@ -1,6 +1,8 @@
 package taxonomy_test
 
 import (
+	"bytes"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -51,6 +53,58 @@ func FuzzReadRules(f *testing.F) {
 				back[i].Pattern.String() != rules[i].Pattern.String() {
 				t.Fatalf("round trip of %q changed rule %d: %+v -> %+v", s, i, rules[i], back[i])
 			}
+		}
+	})
+}
+
+// FuzzLiteralAnchors throws random patterns and messages at the prefilter
+// extractor and checks the two invariants the classifier relies on:
+//
+//   - Necessity: whenever the compiled regexp matches a message, the
+//     extracted filter must pass it too — a filter that rejects a matching
+//     message silently misroutes that message to Unclassified.
+//   - Tier-1 exactness: an ordered-chain hit on a newline-free message is
+//     trusted as a match without running the regexp, so an ordered filter
+//     passing a message the regexp rejects is equally unsound.
+//
+// internal/rulecheck proves the same properties analytically for the
+// shipped rules; this target searches for extractor bugs on arbitrary
+// patterns.
+func FuzzLiteralAnchors(f *testing.F) {
+	seeds := []struct {
+		pattern, msg string
+	}{
+		{`machine check exception`, "Machine Check Exception on nid 1"},
+		{`(?i)lustre(fs)? (error|timeout)`, "LustreFS TIMEOUT: recovery"},
+		{`kernel panic - not syncing`, "Kernel panic - not syncing: fatal"},
+		{`L[0-3] cache error`, "L2 cache error detected"},
+		{`ec_node_(failed|halt)`, "event ec_node_halt received"},
+		{`ap(kill|sys) .* exit`, "apsys x exit"},
+		{`nmi .* received`, "nmi\nreceived"},
+		{`(?i)emergency power off`, "EMERGENCY POWER OFFK"},
+		{`seg(fault|v) at 0x[0-9a-f]+`, "segv at 0xdeadbeef"},
+		{`a{2,5}b?c`, "aaac"},
+	}
+	for _, s := range seeds {
+		f.Add(s.pattern, []byte(s.msg))
+	}
+	f.Fuzz(func(t *testing.T, pattern string, msg []byte) {
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			return
+		}
+		pf := taxonomy.ExtractPrefilter(pattern)
+		if pf == nil {
+			return // no filter extracted: the regexp always runs, nothing to verify
+		}
+		if re.Match(msg) && !pf.Match(msg) {
+			t.Fatalf("prefilter not necessary: pattern %q matches %q but filter %v rejects it",
+				pattern, msg, pf.Branches())
+		}
+		if pf.Ordered() && bytes.IndexByte(msg, '\n') < 0 &&
+			pf.Match(msg) && !re.Match(msg) {
+			t.Fatalf("ordered prefilter not exact: filter %v passes %q but pattern %q rejects it",
+				pf.Branches(), msg, pattern)
 		}
 	})
 }

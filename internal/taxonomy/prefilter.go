@@ -59,6 +59,9 @@ type prefilter struct {
 }
 
 // match reports whether any branch passes against the folded message.
+//
+//ldvet:pooled
+//ldvet:hotpath
 func (f *prefilter) match(folded []byte) bool {
 	for _, br := range f.branches {
 		if f.ordered {
@@ -83,6 +86,9 @@ func (f *prefilter) match(folded []byte) bool {
 
 // chainMatch reports whether the chain's literals appear in order, each
 // starting at or after the end of the previous one.
+//
+//ldvet:pooled
+//ldvet:hotpath
 func chainMatch(chain [][]byte, folded []byte) bool {
 	pos := 0
 	for _, lit := range chain {
@@ -392,6 +398,65 @@ func LiteralAnchors(pattern string) []string {
 	return out
 }
 
+// Prefilter is the exported view of one rule's literal prefilter, for
+// soundness cross-checking (internal/rulecheck) and fuzzing. It evaluates
+// with exactly the code the classifier hot path runs, so a verifier
+// exercising it proves something about classification itself.
+type Prefilter struct {
+	f prefilter
+}
+
+// ExtractPrefilter extracts the literal prefilter the classifier would use
+// for pattern, or nil when the pattern yields no sound filter (the rule's
+// regexp always runs, so there is nothing to verify).
+func ExtractPrefilter(pattern string) *Prefilter {
+	f := filterOf(pattern)
+	if f == nil {
+		return nil
+	}
+	return &Prefilter{f: *f}
+}
+
+// NewPrefilter builds a prefilter from explicit branches, bypassing
+// extraction. It exists so verifier tests can construct a deliberately
+// desynchronized filter and prove the soundness check rejects it; the
+// classifier itself only ever uses ExtractPrefilter.
+func NewPrefilter(branches [][]string, ordered bool) *Prefilter {
+	p := &Prefilter{f: prefilter{ordered: ordered}}
+	p.f.branches = make([][][]byte, len(branches))
+	for i, br := range branches {
+		p.f.branches[i] = make([][]byte, len(br))
+		for j, l := range br {
+			p.f.branches[i][j] = []byte(l)
+		}
+	}
+	return p
+}
+
+// Ordered reports whether the filter is a tier-1 ordered-chain
+// decomposition: a branch hit classifies a newline-free message outright,
+// with no regexp call. Unordered (tier-2) filters only admit the regexp.
+func (p *Prefilter) Ordered() bool { return p.f.ordered }
+
+// Branches returns the filter's literal branches (ordered chains or
+// unordered required-literal sets, per Ordered).
+func (p *Prefilter) Branches() [][]string {
+	out := make([][]string, len(p.f.branches))
+	for i, br := range p.f.branches {
+		out[i] = make([]string, len(br))
+		for j, l := range br {
+			out[i][j] = string(l)
+		}
+	}
+	return out
+}
+
+// Match reports whether the filter passes on msg, applying the same
+// case-folding the classifier applies before its branch scan.
+func (p *Prefilter) Match(msg []byte) bool {
+	return p.f.match(appendFolded(nil, msg))
+}
+
 // foldPool holds reusable scratch buffers for case-folding messages.
 var foldPool = sync.Pool{New: func() any { return new(foldBuf) }}
 
@@ -402,6 +467,9 @@ type foldBuf struct{ b []byte }
 // with 'k') and U+017F LATIN SMALL LETTER LONG S (folds with 's') — are
 // rewritten to their ASCII folds so the prefilter cannot miss a message the
 // regexp would match. All other bytes pass through unchanged.
+//
+//ldvet:pooled
+//ldvet:hotpath
 func appendFolded(dst, src []byte) []byte {
 	for i := 0; i < len(src); i++ {
 		c := src[i]
@@ -426,8 +494,12 @@ func appendFolded(dst, src []byte) []byte {
 
 // ClassifyBytes is Classify over a byte view of the message; it does not
 // retain msg and does not allocate on the steady-state path.
+//
+//ldvet:pooled
+//ldvet:hotpath
 func (c *Classifier) ClassifyBytes(msg []byte) (Category, Severity) {
 	fb := foldPool.Get().(*foldBuf)
+	//ldvet:allow pooled-retain — appendFolded copies msg into the fold buffer
 	fb.b = appendFolded(fb.b[:0], msg)
 	// Ordered-chain hits decide the match outright only on newline-free
 	// messages: ".*" gaps cannot cross a '\n', which ordered search ignores.

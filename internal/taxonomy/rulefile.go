@@ -117,7 +117,7 @@ func ReadRuleFile(r io.Reader) ([]LocatedRule, error) {
 		if !ok {
 			return nil, fmt.Errorf("taxonomy: rule file line %d: unknown severity %q", lineNo, head[2])
 		}
-		re, err := regexp.Compile(pattern) //ldvet:allow regexp-compile — load-time compile of user-supplied patterns
+		re, err := regexp.Compile(pattern)
 		if err != nil {
 			return nil, fmt.Errorf("taxonomy: rule file line %d: bad regex: %w", lineNo, err)
 		}

@@ -61,6 +61,9 @@ type ScanRecord struct {
 // as the string path, and everything else yields the parsed ScanRecord.
 // Timestamps are interpreted in loc (UTC if nil). It allocates only on
 // malformed or non-canonical input.
+//
+//ldvet:pooled
+//ldvet:hotpath
 func CheckLineBytes(b []byte, loc *time.Location) (r ScanRecord, skip bool, perr *parse.Error) {
 	if loc == nil {
 		loc = time.UTC
@@ -219,6 +222,9 @@ var (
 
 // spaceAt reports whether the byte sequence at b[i:] starts with a Unicode
 // space (the separator set of strings.Fields) and its encoded width.
+//
+//ldvet:pooled
+//ldvet:hotpath
 func spaceAt(b []byte, i int) (bool, int) {
 	c := b[i]
 	if c < utf8.RuneSelf {
@@ -241,6 +247,9 @@ func truncLine(b []byte) string {
 
 // parseWalltimeBytes parses the HH:MM:SS convention with the exact
 // acceptance of ParseWalltime, without allocating.
+//
+//ldvet:pooled
+//ldvet:hotpath
 func parseWalltimeBytes(b []byte) (time.Duration, bool) {
 	c1 := bytes.IndexByte(b, ':')
 	if c1 < 0 {
@@ -273,6 +282,9 @@ func parseWalltimeBytes(b []byte) (time.Duration, bool) {
 // ("01/02/2006 15:04:05") without allocating. Deviations (including the
 // 1-digit hours time.Parse tolerates) return ok == false and take the
 // time.ParseInLocation fallback, which is authoritative.
+//
+//ldvet:pooled
+//ldvet:hotpath
 func parseStampFastWlm(b []byte, loc *time.Location) (time.Time, bool) {
 	if len(b) != 19 || b[2] != '/' || b[5] != '/' || b[10] != ' ' || b[13] != ':' || b[16] != ':' {
 		return time.Time{}, false
@@ -292,6 +304,7 @@ func parseStampFastWlm(b []byte, loc *time.Location) (time.Time, bool) {
 	return time.Date(year, time.Month(mo), day, hour, min, sec, 0, loc), true
 }
 
+//ldvet:hotpath
 func digits2(a, b byte) (int, bool) {
 	if a < '0' || a > '9' || b < '0' || b > '9' {
 		return 0, false
@@ -299,6 +312,7 @@ func digits2(a, b byte) (int, bool) {
 	return int(a-'0')*10 + int(b-'0'), true
 }
 
+//ldvet:hotpath
 func digits4(b []byte) (int, bool) {
 	n := 0
 	for _, c := range b {
@@ -328,12 +342,16 @@ func daysIn(m, y int) int {
 // of Add. Retained strings (job ID on first sight; user/account/queue) are
 // copied out of the caller's buffer, the short per-job strings through the
 // assembler's intern table so repeated values share storage.
+//
+//ldvet:pooled
+//ldvet:hotpath
 func (a *Assembler) AddScan(r ScanRecord) error {
 	if len(r.JobID) == 0 {
 		return fmt.Errorf("wlm: record with empty job id")
 	}
 	j := a.jobs[string(r.JobID)]
 	if j == nil {
+		//ldvet:allow hotpath-alloc — one allocation per job, amortized across its records
 		j = &Job{ID: string(r.JobID)}
 		a.jobs[j.ID] = j
 	}
@@ -385,10 +403,14 @@ func (a *Assembler) AddScan(r ScanRecord) error {
 }
 
 // intern returns a canonical string for b, copying it at most once.
+//
+//ldvet:pooled
+//ldvet:hotpath
 func (a *Assembler) intern(b []byte) string {
 	if s, ok := a.interned[string(b)]; ok {
 		return s
 	}
+	//ldvet:allow hotpath-alloc — first-sight copy into the intern cache
 	s := string(b)
 	a.interned[s] = s
 	return s
@@ -399,6 +421,9 @@ func (a *Assembler) intern(b []byte) string {
 // exact per-line semantics of a sequential Scanner in the same mode. The
 // returned records hold views into block; callers must fold them (AddScan
 // copies what it retains) before the block's buffer is reused.
+//
+//ldvet:pooled
+//ldvet:hotpath
 func ScanBlockMode(block []byte, loc *time.Location, firstLine int, mode parse.Mode) (recs []ScanRecord, stats parse.LineStats, err error) {
 	if loc == nil {
 		loc = time.UTC
