@@ -17,14 +17,17 @@
 // still written but the pair is neither required nor compared — for
 // benchmark suites (like the serving benchmarks) that have no such pair.
 //
-// Beyond the speedup pair, two absolute per-benchmark gates catch
-// regressions that a relative comparison cannot: -min-mbps sets MB/s floors
-// and -max-allocs sets allocs/op ceilings. Both take comma-separated
-// name=value pairs (a bare value applies to the serial benchmark), are
-// recorded into the report's per-benchmark entries (min_mbps / max_allocs),
-// and fail the run when violated — allocation ceilings unconditionally
-// (alloc counts are hardware-independent), throughput floors likewise since
-// the committed floor is chosen to hold on the slowest supported runner.
+// Beyond the speedup pair, three absolute per-benchmark gates catch
+// regressions that a relative comparison cannot: -min-mbps sets MB/s floors,
+// -max-allocs sets allocs/op ceilings, and -max-ns sets ns/op ceilings (the
+// latency gate the load harness uses for its p99 and error-rate lines). All
+// take comma-separated name=value pairs (a bare value applies to the serial
+// benchmark), are recorded into the report's per-benchmark entries
+// (min_mbps / max_allocs / max_ns), and fail the run when violated —
+// allocation ceilings unconditionally (alloc counts are
+// hardware-independent), throughput floors and latency ceilings likewise
+// since the committed values are chosen to hold on the slowest supported
+// runner.
 // -gates-from re-reads the gates recorded in a previous report, so CI can
 // enforce exactly what the committed BENCH_*.json baseline promises;
 // explicit flags override per benchmark.
@@ -78,6 +81,7 @@ type summary struct {
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
 	MinMBPerSec float64 `json:"min_mbps,omitempty"`
 	MaxAllocs   float64 `json:"max_allocs,omitempty"`
+	MaxNs       float64 `json:"max_ns,omitempty"`
 }
 
 // report is the BENCH_ingest.json schema.
@@ -109,6 +113,7 @@ func realMain() error {
 		parName     = flag.String("parallel-name", "BenchmarkAnalyze/parallel", "benchmark filling the report's parallel (contender) slot")
 		minMBps     = flag.String("min-mbps", "", "per-benchmark MB/s floors, comma-separated name=value pairs (bare value applies to -serial-name); recorded into the report and enforced")
 		maxAllocs   = flag.String("max-allocs", "", "per-benchmark allocs/op ceilings, same syntax as -min-mbps; recorded into the report and enforced")
+		maxNs       = flag.String("max-ns", "", "per-benchmark ns/op ceilings, same syntax as -min-mbps; recorded into the report and enforced")
 		gatesFrom   = flag.String("gates-from", "", "previous report whose recorded min_mbps/max_allocs gates to enforce; explicit flags override per benchmark")
 		compare     = flag.String("compare", "", "previous report to diff against; writes a benchstat-style old-vs-new table")
 		compareOut  = flag.String("compare-out", "-", "comparison table path (- for stdout)")
@@ -132,7 +137,7 @@ func realMain() error {
 		return fmt.Errorf("no benchmark lines found in %s", *in)
 	}
 
-	gates, err := collectGates(*gatesFrom, *minMBps, *maxAllocs, *serialName)
+	gates, err := collectGates(*gatesFrom, *minMBps, *maxAllocs, *maxNs, *serialName)
 	if err != nil {
 		return err
 	}
@@ -207,11 +212,12 @@ func realMain() error {
 type gate struct {
 	minMBps   float64
 	maxAllocs float64
+	maxNs     float64
 }
 
 // collectGates assembles the per-benchmark absolute gates: those recorded
 // in the gatesFrom report first, then the explicit flag specs on top.
-func collectGates(gatesFrom, minMBps, maxAllocs, serialName string) (map[string]gate, error) {
+func collectGates(gatesFrom, minMBps, maxAllocs, maxNs, serialName string) (map[string]gate, error) {
 	gates := make(map[string]gate)
 	if gatesFrom != "" {
 		prev, err := readReport(gatesFrom)
@@ -219,8 +225,8 @@ func collectGates(gatesFrom, minMBps, maxAllocs, serialName string) (map[string]
 			return nil, fmt.Errorf("-gates-from: %w", err)
 		}
 		for _, s := range prev.Benchmarks {
-			if s.MinMBPerSec > 0 || s.MaxAllocs > 0 {
-				gates[s.Name] = gate{minMBps: s.MinMBPerSec, maxAllocs: s.MaxAllocs}
+			if s.MinMBPerSec > 0 || s.MaxAllocs > 0 || s.MaxNs > 0 {
+				gates[s.Name] = gate{minMBps: s.MinMBPerSec, maxAllocs: s.MaxAllocs, maxNs: s.MaxNs}
 			}
 		}
 	}
@@ -229,6 +235,9 @@ func collectGates(gatesFrom, minMBps, maxAllocs, serialName string) (map[string]
 	}
 	if err := parseGateSpec(maxAllocs, serialName, gates, func(g *gate, v float64) { g.maxAllocs = v }); err != nil {
 		return nil, fmt.Errorf("-max-allocs: %w", err)
+	}
+	if err := parseGateSpec(maxNs, serialName, gates, func(g *gate, v float64) { g.maxNs = v }); err != nil {
+		return nil, fmt.Errorf("-max-ns: %w", err)
 	}
 	return gates, nil
 }
@@ -276,7 +285,7 @@ func applyGates(sums []summary, gates map[string]gate) ([]error, error) {
 			return nil, fmt.Errorf("gate for %s matches no benchmark in the input", name)
 		}
 		g := gates[name]
-		s.MinMBPerSec, s.MaxAllocs = g.minMBps, g.maxAllocs
+		s.MinMBPerSec, s.MaxAllocs, s.MaxNs = g.minMBps, g.maxAllocs, g.maxNs
 		if g.minMBps > 0 && s.MBPerSec < g.minMBps {
 			violations = append(violations, fmt.Errorf("%s throughput %.2f MB/s is below the %.2f MB/s floor",
 				name, s.MBPerSec, g.minMBps))
@@ -284,6 +293,10 @@ func applyGates(sums []summary, gates map[string]gate) ([]error, error) {
 		if g.maxAllocs > 0 && s.AllocsPerOp > g.maxAllocs {
 			violations = append(violations, fmt.Errorf("%s allocations %.0f allocs/op exceed the %.0f allocs/op ceiling",
 				name, s.AllocsPerOp, g.maxAllocs))
+		}
+		if g.maxNs > 0 && s.NsPerOp > g.maxNs {
+			violations = append(violations, fmt.Errorf("%s latency %.0f ns/op exceeds the %.0f ns/op ceiling",
+				name, s.NsPerOp, g.maxNs))
 		}
 	}
 	return violations, nil

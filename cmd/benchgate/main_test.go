@@ -96,23 +96,23 @@ func TestParseGateSpec(t *testing.T) {
 func TestApplyGates(t *testing.T) {
 	mkSums := func() []summary {
 		return []summary{
-			{Name: "BenchmarkAnalyze/serial", MBPerSec: 50.4, AllocsPerOp: 149638},
-			{Name: "BenchmarkAnalyze/parallel", MBPerSec: 170.2, AllocsPerOp: 150001},
+			{Name: "BenchmarkAnalyze/serial", NsPerOp: 1.4e9, MBPerSec: 50.4, AllocsPerOp: 149638},
+			{Name: "BenchmarkAnalyze/parallel", NsPerOp: 3.7e8, MBPerSec: 170.2, AllocsPerOp: 150001},
 		}
 	}
 
 	sums := mkSums()
 	viol, err := applyGates(sums, map[string]gate{
-		"BenchmarkAnalyze/serial": {minMBps: 40.5, maxAllocs: 153625},
+		"BenchmarkAnalyze/serial": {minMBps: 40.5, maxAllocs: 153625, maxNs: 2e9},
 	})
 	if err != nil || len(viol) != 0 {
 		t.Fatalf("passing gates: violations=%v err=%v", viol, err)
 	}
 	// Gates must be recorded into the summaries for the report.
-	if sums[0].MinMBPerSec != 40.5 || sums[0].MaxAllocs != 153625 {
+	if sums[0].MinMBPerSec != 40.5 || sums[0].MaxAllocs != 153625 || sums[0].MaxNs != 2e9 {
 		t.Errorf("gates not recorded: %+v", sums[0])
 	}
-	if sums[1].MinMBPerSec != 0 || sums[1].MaxAllocs != 0 {
+	if sums[1].MinMBPerSec != 0 || sums[1].MaxAllocs != 0 || sums[1].MaxNs != 0 {
 		t.Errorf("ungated benchmark got gates: %+v", sums[1])
 	}
 
@@ -122,6 +122,14 @@ func TestApplyGates(t *testing.T) {
 	})
 	if err != nil || len(viol) != 2 {
 		t.Fatalf("want 2 violations, got %v (err=%v)", viol, err)
+	}
+
+	// The latency ceiling fails a too-slow benchmark on its own.
+	viol, err = applyGates(mkSums(), map[string]gate{
+		"BenchmarkAnalyze/serial": {maxNs: 1e9},
+	})
+	if err != nil || len(viol) != 1 || !strings.Contains(viol[0].Error(), "ceiling") {
+		t.Fatalf("latency ceiling: want 1 ceiling violation, got %v (err=%v)", viol, err)
 	}
 
 	if _, err = applyGates(mkSums(), map[string]gate{"BenchmarkGone": {minMBps: 1}}); err == nil {
@@ -135,6 +143,7 @@ func TestCollectGatesFromReport(t *testing.T) {
 	prev := report{Benchmarks: []summary{
 		{Name: "BenchmarkAnalyze/serial", MinMBPerSec: 40.5, MaxAllocs: 153625},
 		{Name: "BenchmarkAnalyze/parallel"},
+		{Name: "BenchmarkLoadgen/p99", MaxNs: 2.5e8},
 	}}
 	buf, err := json.Marshal(prev)
 	if err != nil {
@@ -144,7 +153,7 @@ func TestCollectGatesFromReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Flags override the recorded gates per benchmark.
-	gates, err := collectGates(path, "45", "", "BenchmarkAnalyze/serial")
+	gates, err := collectGates(path, "45", "", "", "BenchmarkAnalyze/serial")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,8 +161,11 @@ func TestCollectGatesFromReport(t *testing.T) {
 	if got.minMBps != 45 || got.maxAllocs != 153625 {
 		t.Errorf("merged gate = %+v, want floor 45 from flag, ceiling 153625 from report", got)
 	}
-	if len(gates) != 1 {
-		t.Errorf("gates = %+v, want only the serial entry (parallel recorded none)", gates)
+	if g := gates["BenchmarkLoadgen/p99"]; g.maxNs != 2.5e8 {
+		t.Errorf("recorded max_ns gate = %+v, want 2.5e8 from report", g)
+	}
+	if len(gates) != 2 {
+		t.Errorf("gates = %+v, want serial + loadgen entries (parallel recorded none)", gates)
 	}
 }
 

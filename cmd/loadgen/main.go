@@ -1,0 +1,492 @@
+// Command loadgen drives a running logdiverd query tier with a seeded,
+// deterministic request mix and reports latency percentiles, error rates,
+// and achieved throughput. It is the measurement half of the serving-layer
+// saturation story: run it at a concurrency at or beyond the daemon's
+// -max-inflight bound and the report shows whether the server sheds
+// promptly (shed_p99) while admitted requests stay fast (p99).
+//
+// Two generation modes:
+//
+//   - closed (default): -c workers each keep exactly one request in flight.
+//     The achieved throughput line IS the max sustainable RPS at that
+//     concurrency — a closed loop cannot outrun the server.
+//   - open: requests depart on a fixed schedule at -rps regardless of how
+//     fast responses come back, and latency is measured from the SCHEDULED
+//     departure time, so queueing delay the server causes is charged to it
+//     (no coordinated omission).
+//
+// The mix is deterministic for a given -seed: closed mode seeds one RNG per
+// worker (seed+worker), open mode pre-generates the whole request schedule
+// from one RNG. Latencies vary run to run; the request sequence does not.
+//
+// Results are written as `go test -bench` formatted lines so benchgate can
+// record and gate them (BENCH_load.json):
+//
+//	BenchmarkLoadgen/p50          <ok>    <ns> ns/op
+//	BenchmarkLoadgen/p99          <ok>    <ns> ns/op
+//	BenchmarkLoadgen/p999         <ok>    <ns> ns/op
+//	BenchmarkLoadgen/shed_p99     <shed>  <ns> ns/op
+//	BenchmarkLoadgen/error_ppm    <total> <errors-per-million> ns/op
+//	BenchmarkLoadgen/throughput   <total> <mean-ns> ns/op <rps> MB/s
+//
+// The ns/op slot carries the metric being gated (latency ceilings and the
+// error rate gate through benchgate -max-ns); the throughput line carries
+// achieved requests/second in the MB/s slot, gated through -min-mbps.
+//
+// Responses classify as: ok (200, 304), shed (429 or 503 bearing
+// Retry-After — the server's honest overload answer, never an error), or
+// error (transport failure, any other status, or a shed missing its
+// Retry-After hint).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+type config struct {
+	baseURL  string
+	mode     string
+	workers  int
+	requests int
+	rps      float64
+	duration time.Duration
+	seed     int64
+	mix      []mixEntry
+	timeout  time.Duration
+	wait     time.Duration
+}
+
+func main() {
+	if err := realMain(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain() error {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8080", "base URL of the logdiverd query API")
+		mode     = flag.String("mode", "closed", "generation mode: closed (fixed concurrency) or open (fixed arrival rate)")
+		workers  = flag.Int("c", 8, "closed mode: concurrent workers; open mode: max outstanding requests")
+		requests = flag.Int("n", 2000, "closed mode: total requests")
+		rps      = flag.Float64("rps", 200, "open mode: arrival rate, requests per second")
+		duration = flag.Duration("duration", 10*time.Second, "open mode: run length")
+		seed     = flag.Int64("seed", 1, "RNG seed for the request mix")
+		mixSpec  = flag.String("mix", defaultMix, "request mix, comma-separated kind=weight pairs")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		wait     = flag.Duration("wait", 10*time.Second, "max time to wait for the server to report healthy")
+		out      = flag.String("out", "-", "bench-format results path (- for stdout)")
+	)
+	flag.Parse()
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		return err
+	}
+	cfg := config{
+		baseURL: strings.TrimRight(*url, "/"), mode: *mode, workers: *workers,
+		requests: *requests, rps: *rps, duration: *duration, seed: *seed,
+		mix: mix, timeout: *timeout, wait: *wait,
+	}
+	if cfg.workers < 1 {
+		return fmt.Errorf("-c must be at least 1")
+	}
+
+	client := &http.Client{Timeout: cfg.timeout}
+	apids, err := preflight(client, cfg.baseURL, cfg.wait)
+	if err != nil {
+		return err
+	}
+
+	var res *results
+	switch cfg.mode {
+	case "closed":
+		res = runClosed(cfg, client, apids)
+	case "open":
+		res = runOpen(cfg, client, apids)
+	default:
+		return fmt.Errorf("unknown -mode %q: want closed or open", cfg.mode)
+	}
+	if len(res.okLat) == 0 {
+		return fmt.Errorf("no request succeeded (%d errors of %d): is %s a logdiverd?",
+			res.errs, res.total, cfg.baseURL)
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	writeBench(w, res)
+	writeSummary(os.Stderr, res)
+	return nil
+}
+
+// defaultMix exercises every serving path: cached views, the paginated
+// list, dynamic pages, run drill-downs, conditional revalidations, and
+// gzip negotiation.
+const defaultMix = "outcomes=3,scaling=2,mtti=1,categories=1,runs_list=2,runs_page=1,runs=1,cond=3,gzip=1"
+
+type mixEntry struct {
+	kind   string
+	weight int
+}
+
+var knownKinds = map[string]bool{
+	"outcomes": true, "scaling": true, "mtti": true, "categories": true,
+	"runs_list": true, "runs_page": true, "runs": true, "cond": true, "gzip": true,
+}
+
+func parseMix(spec string) ([]mixEntry, error) {
+	var mix []mixEntry
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q: want kind=weight", part)
+		}
+		kind = strings.TrimSpace(kind)
+		if !knownKinds[kind] {
+			return nil, fmt.Errorf("unknown mix kind %q", kind)
+		}
+		var w int
+		if _, err := fmt.Sscanf(strings.TrimSpace(val), "%d", &w); err != nil || w < 1 {
+			return nil, fmt.Errorf("bad mix weight %q: want a positive integer", part)
+		}
+		mix = append(mix, mixEntry{kind: kind, weight: w})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty mix")
+	}
+	return mix, nil
+}
+
+func mixTotal(mix []mixEntry) int {
+	total := 0
+	for _, e := range mix {
+		total += e.weight
+	}
+	return total
+}
+
+// plan is one concrete request: a path plus the conditional / encoding
+// decorations the mix asked for.
+type plan struct {
+	path string
+	cond bool // send If-None-Match with the last ETag seen
+	gzip bool
+}
+
+// pickPlan draws one request from the mix using rng. All randomness lives
+// here, so the request sequence is a pure function of the seed.
+func pickPlan(rng *rand.Rand, mix []mixEntry, total int, apids []uint64) plan {
+	n := rng.Intn(total)
+	kind := mix[len(mix)-1].kind
+	for _, e := range mix {
+		if n < e.weight {
+			kind = e.kind
+			break
+		}
+		n -= e.weight
+	}
+	switch kind {
+	case "outcomes":
+		return plan{path: "/v1/outcomes"}
+	case "scaling":
+		classes := []string{"xe", "xk"}
+		return plan{path: "/v1/scaling?class=" + classes[rng.Intn(len(classes))]}
+	case "mtti":
+		return plan{path: "/v1/mtti"}
+	case "categories":
+		return plan{path: "/v1/categories"}
+	case "runs_list":
+		return plan{path: "/v1/runs"}
+	case "runs_page":
+		limits := []string{"25", "50", "250"}
+		return plan{path: "/v1/runs?limit=" + limits[rng.Intn(len(limits))]}
+	case "runs":
+		if len(apids) == 0 {
+			return plan{path: "/v1/runs"}
+		}
+		return plan{path: fmt.Sprintf("/v1/runs/%d", apids[rng.Intn(len(apids))])}
+	case "cond":
+		return plan{path: "/v1/outcomes", cond: true}
+	default: // gzip
+		return plan{path: "/v1/outcomes", gzip: true}
+	}
+}
+
+// preflight waits for /v1/health to answer 200, then learns a set of real
+// apids from the first runs page so the mix can exercise drill-downs.
+func preflight(client *http.Client, base string, wait time.Duration) ([]uint64, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := client.Get(base + "/v1/health")
+		if err == nil {
+			ok := resp.StatusCode == http.StatusOK
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if ok {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return nil, fmt.Errorf("server not healthy after %s: %v", wait, err)
+			}
+			return nil, fmt.Errorf("server not healthy after %s", wait)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	resp, err := client.Get(base + "/v1/runs")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var page struct {
+		Runs []struct {
+			ApID uint64 `json:"apid"`
+		} `json:"runs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return nil, fmt.Errorf("decoding /v1/runs: %w", err)
+	}
+	apids := make([]uint64, 0, len(page.Runs))
+	for _, r := range page.Runs {
+		apids = append(apids, r.ApID)
+	}
+	return apids, nil
+}
+
+// outcome is one request's classified result.
+type outcome struct {
+	lat   time.Duration
+	class int // classOK, classShed, classErr
+}
+
+const (
+	classOK = iota
+	classShed
+	classErr
+)
+
+// doRequest executes one planned request and classifies the response. The
+// latency is measured from `from`, which the open loop sets to the
+// scheduled departure time. etag carries the worker's last seen ETag in
+// and out for conditional requests.
+func doRequest(client *http.Client, base string, p plan, from time.Time, etag *string) outcome {
+	req, err := http.NewRequest("GET", base+p.path, nil)
+	if err != nil {
+		return outcome{class: classErr}
+	}
+	if p.cond && *etag != "" {
+		req.Header.Set("If-None-Match", *etag)
+	}
+	if p.gzip {
+		req.Header.Set("Accept-Encoding", "gzip")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return outcome{lat: time.Since(from), class: classErr}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	lat := time.Since(from)
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusNotModified:
+		if et := resp.Header.Get("ETag"); et != "" {
+			*etag = et
+		}
+		return outcome{lat: lat, class: classOK}
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		if resp.Header.Get("Retry-After") == "" {
+			// A shed without a hint is a contract violation, not load
+			// shedding.
+			return outcome{lat: lat, class: classErr}
+		}
+		return outcome{lat: lat, class: classShed}
+	default:
+		return outcome{lat: lat, class: classErr}
+	}
+}
+
+// results aggregates a run. okLat and shedLat are sorted ascending.
+type results struct {
+	mode    string
+	total   int
+	okLat   []time.Duration
+	shedLat []time.Duration
+	errs    int
+	elapsed time.Duration
+}
+
+func collect(mode string, outs []outcome, elapsed time.Duration) *results {
+	res := &results{mode: mode, total: len(outs), elapsed: elapsed}
+	for _, o := range outs {
+		switch o.class {
+		case classOK:
+			res.okLat = append(res.okLat, o.lat)
+		case classShed:
+			res.shedLat = append(res.shedLat, o.lat)
+		default:
+			res.errs++
+		}
+	}
+	sort.Slice(res.okLat, func(i, j int) bool { return res.okLat[i] < res.okLat[j] })
+	sort.Slice(res.shedLat, func(i, j int) bool { return res.shedLat[i] < res.shedLat[j] })
+	return res
+}
+
+// runClosed keeps cfg.workers requests in flight until cfg.requests have
+// completed. Worker w draws its mix from seed+w.
+func runClosed(cfg config, client *http.Client, apids []uint64) *results {
+	total := mixTotal(cfg.mix)
+	outs := make([]outcome, cfg.requests)
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int, cfg.workers)
+	)
+	began := time.Now()
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
+			etag := ""
+			for i := range next {
+				p := pickPlan(rng, cfg.mix, total, apids)
+				outs[i] = doRequest(client, cfg.baseURL, p, time.Now(), &etag)
+			}
+		}(w)
+	}
+	for i := 0; i < cfg.requests; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return collect("closed", outs, time.Since(began))
+}
+
+// runOpen fires requests on a fixed schedule at cfg.rps for cfg.duration.
+// The whole schedule is drawn up front from one RNG, so the mix is
+// deterministic; outstanding requests are bounded at 4x workers, and the
+// wait for a slot counts into the request's latency (it is queueing the
+// server caused).
+func runOpen(cfg config, client *http.Client, apids []uint64) *results {
+	interval := time.Duration(float64(time.Second) / cfg.rps)
+	n := int(cfg.duration.Seconds() * cfg.rps)
+	if n < 1 {
+		n = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	total := mixTotal(cfg.mix)
+	plans := make([]plan, n)
+	for i := range plans {
+		plans[i] = pickPlan(rng, cfg.mix, total, apids)
+	}
+
+	outs := make([]outcome, n)
+	sem := make(chan struct{}, 4*cfg.workers)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		etag string
+	)
+	began := time.Now()
+	for i := 0; i < n; i++ {
+		sched := began.Add(time.Duration(i) * interval)
+		if d := time.Until(sched); d > 0 {
+			time.Sleep(d)
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, sched time.Time) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			mu.Lock()
+			et := etag
+			mu.Unlock()
+			o := doRequest(client, cfg.baseURL, plans[i], sched, &et)
+			if et != "" {
+				mu.Lock()
+				etag = et
+				mu.Unlock()
+			}
+			outs[i] = o
+		}(i, sched)
+	}
+	wg.Wait()
+	return collect("open", outs, time.Since(began))
+}
+
+// percentile returns the q-quantile of sorted (nearest-rank); zero when
+// empty.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func mean(lats []time.Duration) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	return sum / time.Duration(len(lats))
+}
+
+// writeBench renders the results as go-bench lines for benchgate.
+func writeBench(w io.Writer, r *results) {
+	ok := len(r.okLat)
+	fmt.Fprintf(w, "BenchmarkLoadgen/p50 %d %d ns/op\n", ok, percentile(r.okLat, 0.50).Nanoseconds())
+	fmt.Fprintf(w, "BenchmarkLoadgen/p99 %d %d ns/op\n", ok, percentile(r.okLat, 0.99).Nanoseconds())
+	fmt.Fprintf(w, "BenchmarkLoadgen/p999 %d %d ns/op\n", ok, percentile(r.okLat, 0.999).Nanoseconds())
+	fmt.Fprintf(w, "BenchmarkLoadgen/shed_p99 %d %d ns/op\n", len(r.shedLat), percentile(r.shedLat, 0.99).Nanoseconds())
+	ppm := float64(r.errs) / float64(r.total) * 1e6
+	fmt.Fprintf(w, "BenchmarkLoadgen/error_ppm %d %.0f ns/op\n", r.total, ppm)
+	rps := float64(r.total-r.errs) / r.elapsed.Seconds()
+	fmt.Fprintf(w, "BenchmarkLoadgen/throughput %d %d ns/op %.2f MB/s\n",
+		r.total, mean(r.okLat).Nanoseconds(), rps)
+}
+
+// writeSummary renders the human-readable report.
+func writeSummary(w io.Writer, r *results) {
+	fmt.Fprintf(w, "loadgen: mode=%s total=%d ok=%d shed=%d errors=%d in %.2fs (%.1f req/s)\n",
+		r.mode, r.total, len(r.okLat), len(r.shedLat), r.errs,
+		r.elapsed.Seconds(), float64(r.total-r.errs)/r.elapsed.Seconds())
+	fmt.Fprintf(w, "loadgen: latency p50=%s p99=%s p999=%s max=%s\n",
+		percentile(r.okLat, 0.50), percentile(r.okLat, 0.99),
+		percentile(r.okLat, 0.999), percentile(r.okLat, 1))
+	if len(r.shedLat) > 0 {
+		fmt.Fprintf(w, "loadgen: shed p99=%s (prompt rejection is the point)\n",
+			percentile(r.shedLat, 0.99))
+	}
+}

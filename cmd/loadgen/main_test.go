@@ -1,0 +1,307 @@
+package main
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"logdiver/internal/alps"
+	"logdiver/internal/core"
+	"logdiver/internal/correlate"
+	"logdiver/internal/machine"
+	"logdiver/internal/serve"
+	"logdiver/internal/store"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix(defaultMix)
+	if err != nil {
+		t.Fatalf("default mix rejected: %v", err)
+	}
+	if len(mix) != 9 || mixTotal(mix) != 15 {
+		t.Fatalf("default mix: %d entries, weight %d, want 9 and 15", len(mix), mixTotal(mix))
+	}
+	if mix[0].kind != "outcomes" || mix[0].weight != 3 {
+		t.Errorf("first entry %+v", mix[0])
+	}
+	for _, bad := range []string{"", "outcomes", "outcomes=0", "outcomes=-1", "nosuch=1", "outcomes=x"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if got := percentile(nil, 0.99); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+	lats := make([]time.Duration, 100)
+	for i := range lats {
+		lats[i] = time.Duration(i+1) * time.Millisecond // 1ms..100ms sorted
+	}
+	tests := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{0.999, 100 * time.Millisecond},
+		{1, 100 * time.Millisecond},
+	}
+	for _, tc := range tests {
+		if got := percentile(lats, tc.q); got != tc.want {
+			t.Errorf("percentile(%.3f) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestPickPlanDeterministic pins the seeded mix: the same seed draws the
+// same request sequence, a different seed a different one.
+func TestPickPlanDeterministic(t *testing.T) {
+	mix, err := parseMix(defaultMix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := mixTotal(mix)
+	apids := []uint64{1, 2, 3}
+	draw := func(seed int64) []string {
+		rng := rand.New(rand.NewSource(seed))
+		seq := make([]string, 200)
+		for i := range seq {
+			p := pickPlan(rng, mix, total, apids)
+			seq[i] = p.path
+			if p.cond {
+				seq[i] += "+cond"
+			}
+			if p.gzip {
+				seq[i] += "+gzip"
+			}
+		}
+		return seq
+	}
+	a, b, c := draw(7), draw(7), draw(8)
+	if strings.Join(a, " ") != strings.Join(b, " ") {
+		t.Fatal("same seed drew different sequences")
+	}
+	if strings.Join(a, " ") == strings.Join(c, " ") {
+		t.Fatal("different seeds drew identical sequences")
+	}
+	// The default mix must reach every endpoint family.
+	joined := strings.Join(a, " ")
+	for _, want := range []string{"/v1/outcomes", "/v1/scaling?class=", "/v1/mtti",
+		"/v1/categories", "/v1/runs ", "/v1/runs?limit=", "/v1/runs/", "+cond", "+gzip"} {
+		if !strings.Contains(joined+" ", want) {
+			t.Errorf("200 draws never produced %q", want)
+		}
+	}
+}
+
+// TestWriteBench pins the go-bench output contract benchgate parses.
+func TestWriteBench(t *testing.T) {
+	r := &results{
+		mode:    "closed",
+		total:   1000,
+		okLat:   []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond},
+		shedLat: []time.Duration{100 * time.Microsecond},
+		errs:    2,
+		elapsed: 2 * time.Second,
+	}
+	var b strings.Builder
+	writeBench(&b, r)
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("want 6 bench lines, got %d:\n%s", len(lines), b.String())
+	}
+	wantPrefixes := []string{
+		"BenchmarkLoadgen/p50 3 ",
+		"BenchmarkLoadgen/p99 3 ",
+		"BenchmarkLoadgen/p999 3 ",
+		"BenchmarkLoadgen/shed_p99 1 100000 ns/op",
+		"BenchmarkLoadgen/error_ppm 1000 2000 ns/op",
+		"BenchmarkLoadgen/throughput 1000 2000000 ns/op 499.00 MB/s",
+	}
+	for i, want := range wantPrefixes {
+		if !strings.HasPrefix(lines[i], want) {
+			t.Errorf("line %d = %q, want prefix %q", i, lines[i], want)
+		}
+		if !strings.Contains(lines[i], "ns/op") {
+			t.Errorf("line %d missing ns/op: %q", i, lines[i])
+		}
+	}
+}
+
+// testSnapshotServer boots a real serve.Server over a synthetic snapshot.
+func testSnapshotServer(t *testing.T, cfg serve.Config) *httptest.Server {
+	t.Helper()
+	top, err := machine.New(machine.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	runs := make([]correlate.AttributedRun, 40)
+	for i := range runs {
+		runs[i] = correlate.AttributedRun{
+			AppRun: alps.AppRun{
+				ApID:  uint64(i + 1),
+				Nodes: []machine.NodeID{machine.NodeID(i % 8)},
+				Start: base.Add(time.Duration(i) * time.Minute),
+				End:   base.Add(time.Duration(i+1) * time.Minute),
+			},
+			Class:   machine.ClassXE,
+			Outcome: correlate.OutcomeSuccess,
+		}
+	}
+	snap, err := store.Build(&core.Result{Runs: runs}, top, store.IngestStats{}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.New()
+	st.Install(snap)
+	cfg.Store = st
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestClosedLoopIntegration runs the closed loop against a real serving
+// stack: every request must land (no errors, no sheds on an unbounded
+// server) and the report must be internally consistent.
+func TestClosedLoopIntegration(t *testing.T) {
+	ts := testSnapshotServer(t, serve.Config{})
+	client := &http.Client{Timeout: 5 * time.Second}
+	apids, err := preflight(client, ts.URL, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apids) != 40 {
+		t.Fatalf("preflight learned %d apids, want 40", len(apids))
+	}
+	cfg := config{
+		baseURL: ts.URL, workers: 4, requests: 300, seed: 1,
+		mix: mustMix(t), timeout: 5 * time.Second,
+	}
+	res := runClosed(cfg, client, apids)
+	if res.total != 300 {
+		t.Fatalf("total %d, want 300", res.total)
+	}
+	if res.errs != 0 || len(res.shedLat) != 0 {
+		t.Fatalf("unbounded server: %d errors, %d sheds, want 0/0", res.errs, len(res.shedLat))
+	}
+	if len(res.okLat) != 300 {
+		t.Fatalf("ok %d, want 300", len(res.okLat))
+	}
+	p50, p99, p999 := percentile(res.okLat, 0.5), percentile(res.okLat, 0.99), percentile(res.okLat, 0.999)
+	if p50 <= 0 || p50 > p99 || p99 > p999 {
+		t.Fatalf("percentile ordering broke: p50=%v p99=%v p999=%v", p50, p99, p999)
+	}
+}
+
+// TestOpenLoopIntegration runs a short open-loop schedule and checks the
+// arrival accounting: every scheduled request resolves to exactly one
+// outcome class.
+func TestOpenLoopIntegration(t *testing.T) {
+	ts := testSnapshotServer(t, serve.Config{})
+	client := &http.Client{Timeout: 5 * time.Second}
+	apids, err := preflight(client, ts.URL, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config{
+		baseURL: ts.URL, workers: 4, rps: 400, duration: 500 * time.Millisecond,
+		seed: 3, mix: mustMix(t), timeout: 5 * time.Second,
+	}
+	res := runOpen(cfg, client, apids)
+	want := int(cfg.duration.Seconds() * cfg.rps)
+	if res.total != want {
+		t.Fatalf("total %d, want %d", res.total, want)
+	}
+	if got := len(res.okLat) + len(res.shedLat) + res.errs; got != want {
+		t.Fatalf("classified %d of %d outcomes", got, want)
+	}
+	if res.errs != 0 {
+		t.Fatalf("%d errors against a healthy unbounded server", res.errs)
+	}
+}
+
+// TestShedClassification drives the loop against a rate-limited server:
+// sheds must be counted as sheds (not errors), and the 429s must carry
+// Retry-After to qualify.
+func TestShedClassification(t *testing.T) {
+	ts := testSnapshotServer(t, serve.Config{RateLimit: 5, RateBurst: 5})
+	client := &http.Client{Timeout: 5 * time.Second}
+	apids, err := preflight(client, ts.URL, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// preflight consumed some of the bucket; the burst covers it.
+	cfg := config{
+		baseURL: ts.URL, workers: 4, requests: 100, seed: 1,
+		mix: mustMix(t), timeout: 5 * time.Second,
+	}
+	res := runClosed(cfg, client, apids)
+	if res.errs != 0 {
+		t.Fatalf("%d errors; sheds must classify as sheds", res.errs)
+	}
+	if len(res.shedLat) == 0 {
+		t.Fatal("100 requests through a 5-token bucket shed nothing")
+	}
+	if len(res.okLat) == 0 {
+		t.Fatal("everything shed; the burst should have admitted some")
+	}
+	if len(res.okLat)+len(res.shedLat) != 100 {
+		t.Fatalf("ok %d + shed %d != 100", len(res.okLat), len(res.shedLat))
+	}
+}
+
+// TestShedWithoutRetryAfterIsError pins the contract check: a 503 missing
+// Retry-After is a server bug, counted as an error.
+func TestShedWithoutRetryAfterIsError(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/v1/health" || r.URL.Path == "/v1/runs":
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(`{"runs":[{"apid":1}]}`))
+		case n.Add(1)%2 == 0:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		default:
+			w.WriteHeader(http.StatusServiceUnavailable) // no Retry-After
+		}
+	}))
+	defer ts.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+	apids, err := preflight(client, ts.URL, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config{
+		baseURL: ts.URL, workers: 2, requests: 40, seed: 1,
+		mix: []mixEntry{{kind: "outcomes", weight: 1}}, timeout: 5 * time.Second,
+	}
+	res := runClosed(cfg, client, apids)
+	if res.errs == 0 || len(res.shedLat) == 0 {
+		t.Fatalf("want both errors (no hint) and sheds (hinted): errs=%d sheds=%d",
+			res.errs, len(res.shedLat))
+	}
+	if res.errs+len(res.shedLat) != 40 {
+		t.Fatalf("errs %d + sheds %d != 40", res.errs, len(res.shedLat))
+	}
+}
+
+func mustMix(t *testing.T) []mixEntry {
+	t.Helper()
+	mix, err := parseMix(defaultMix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mix
+}

@@ -85,6 +85,11 @@ func run(args []string, onListen func(addr string)) error {
 		validate    = fs.Bool("validate-rules", true, "lint -rules files and reject rule sets with error-severity findings")
 		timezone    = fs.String("tz", "UTC", "accounting timestamp zone")
 		reqTimeout  = fs.Duration("request-timeout", serve.DefaultRequestTimeout, "per-request deadline for query endpoints")
+		cache       = fs.Bool("cache", true, "serve query responses from the per-epoch pre-encoded cache")
+		rateLimit   = fs.Float64("rate-limit", 0, "per-client requests/second on the data endpoints (0 = no rate limiting; excess gets 429 + Retry-After)")
+		rateBurst   = fs.Int("rate-burst", 0, "rate-limit token-bucket burst (0 = 2x the rate)")
+		maxInflight = fs.Int("max-inflight", 0, "bound on concurrently executing data-endpoint requests (0 = unbounded; excess gets immediate 503 + Retry-After)")
+		retryAfter  = fs.Duration("retry-after", serve.DefaultRetryAfter, "Retry-After hint sent with 503 concurrency sheds")
 		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 		stateDir    = fs.String("state-dir", "", "directory for durable state (empty = no persistence, cold rebuild on every start)")
 		stateEvery  = fs.Duration("state-interval", time.Minute, "minimum interval between periodic state persists")
@@ -219,6 +224,11 @@ func run(args []string, onListen func(addr string)) error {
 		Version:        version.Get(),
 		RequestTimeout: *reqTimeout,
 		Restore:        restore,
+		DisableCache:   !*cache,
+		RateLimit:      *rateLimit,
+		RateBurst:      *rateBurst,
+		MaxInFlight:    *maxInflight,
+		RetryAfter:     *retryAfter,
 	})
 	if err != nil {
 		return err

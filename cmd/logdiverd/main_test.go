@@ -342,3 +342,102 @@ func TestDaemonFlagValidation(t *testing.T) {
 		t.Errorf("-version: %v", err)
 	}
 }
+
+// TestDaemonServeKnobs boots the daemon with the serving-tier flags and
+// exercises each through the real HTTP surface: epoch ETag caching with
+// 304 revalidation, per-client rate limiting with 429 + Retry-After, and
+// health staying reachable while the client is shed.
+func TestDaemonServeKnobs(t *testing.T) {
+	dir := t.TempDir()
+	writeDataset(t, dir, 0, 31)
+	base, stop := bootDaemon(t, dir,
+		"-rate-limit", "3", "-rate-burst", "3",
+		"-max-inflight", "8", "-retry-after", "2s")
+	defer stop()
+	waitFor(t, base, "first snapshot", func(h health) bool { return h.Status == "ok" && h.Runs > 0 })
+
+	// Cached response with an epoch ETag; conditional refetch is a 304.
+	resp, err := http.Get(base + "/v1/outcomes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if resp.StatusCode != http.StatusOK || etag == "" {
+		t.Fatalf("outcomes: status %d etag %q", resp.StatusCode, etag)
+	}
+	req, _ := http.NewRequest("GET", base+"/v1/outcomes", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified || len(body) != 0 {
+		t.Fatalf("conditional refetch: status %d, %d body bytes, want empty 304", resp.StatusCode, len(body))
+	}
+
+	// Hammer past the 3-token bucket: a 429 with Retry-After must appear.
+	var shed *http.Response
+	for i := 0; i < 20 && shed == nil; i++ {
+		r, err := http.Get(base + "/v1/outcomes")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		switch r.StatusCode {
+		case http.StatusOK:
+		case http.StatusTooManyRequests:
+			shed = r
+		default:
+			t.Fatalf("request %d: status %d", i, r.StatusCode)
+		}
+	}
+	if shed == nil {
+		t.Fatal("20 rapid requests through a 3-token bucket never shed")
+	}
+	if ra := shed.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	// Health stays reachable while the data endpoints shed this client.
+	if h, err := getHealth(base); err != nil || h.Status != "ok" {
+		t.Fatalf("health during shedding: %+v, %v", h, err)
+	}
+}
+
+// TestDaemonCacheDisabled boots with -cache=false and checks the responses
+// still carry the full conditional-request surface (ETag, 304) — the cache
+// is a cost optimization, never a semantic change.
+func TestDaemonCacheDisabled(t *testing.T) {
+	dir := t.TempDir()
+	writeDataset(t, dir, 0, 31)
+	base, stop := bootDaemon(t, dir, "-cache=false")
+	defer stop()
+	waitFor(t, base, "first snapshot", func(h health) bool { return h.Status == "ok" && h.Runs > 0 })
+
+	resp, err := http.Get(base + "/v1/outcomes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body1, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if resp.StatusCode != http.StatusOK || etag == "" || !json.Valid(body1) {
+		t.Fatalf("uncached outcomes: status %d etag %q", resp.StatusCode, etag)
+	}
+	req, _ := http.NewRequest("GET", base+"/v1/outcomes", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("uncached conditional: status %d, want 304", resp.StatusCode)
+	}
+}

@@ -2,13 +2,47 @@ package serve
 
 import (
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 )
 
-// BenchmarkServeQueries measures per-endpoint request latency against a
-// realistic snapshot, handler-direct (no network), one goroutine. The CI
-// bench gate tracks these in BENCH_serve.json.
+// benchWriter is a minimal resettable ResponseWriter: the benchmark loop
+// must not allocate per iteration, or the recorder would dominate the
+// near-zero-alloc cached serve path it is measuring.
+type benchWriter struct {
+	h    http.Header
+	code int
+	n    int64
+}
+
+func (w *benchWriter) Header() http.Header { return w.h }
+
+func (w *benchWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+}
+
+func (w *benchWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	w.n += int64(len(b))
+	return len(b), nil
+}
+
+func (w *benchWriter) reset() {
+	clear(w.h)
+	w.code = 0
+	w.n = 0
+}
+
+// BenchmarkServeQueries measures per-endpoint request cost against a
+// realistic snapshot, handler-direct (no network), one goroutine. SetBytes
+// reports response bytes on the wire, so the go-bench MB/s column is real
+// serving throughput. The CI bench gate tracks these in BENCH_serve.json,
+// including absolute min_mbps and max_allocs gates on the cached paths.
 func BenchmarkServeQueries(b *testing.B) {
 	st := testStore(b)
 	srv, err := New(Config{Store: st})
@@ -23,19 +57,89 @@ func BenchmarkServeQueries(b *testing.B) {
 		{"mtti", "/v1/mtti"},
 		{"categories", "/v1/categories"},
 		{"runs", fmt.Sprintf("/v1/runs/%d", apid)},
+		{"runs_list", "/v1/runs"},
 		{"metrics", "/metrics"},
 	}
 	for _, p := range paths {
 		b.Run(p.name, func(b *testing.B) {
+			// One warm request through a real recorder: checks status,
+			// fills the view cache, and sizes the response for SetBytes.
+			warm := httptest.NewRecorder()
+			srv.ServeHTTP(warm, httptest.NewRequest("GET", p.path, nil))
+			if warm.Code != 200 {
+				b.Fatalf("%s: status %d", p.path, warm.Code)
+			}
+			req := httptest.NewRequest("GET", p.path, nil)
+			w := &benchWriter{h: make(http.Header, 8)}
+			b.SetBytes(int64(warm.Body.Len()))
 			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				req := httptest.NewRequest("GET", p.path, nil)
-				rec := httptest.NewRecorder()
-				srv.ServeHTTP(rec, req)
-				if rec.Code != 200 {
-					b.Fatalf("%s: status %d", p.path, rec.Code)
+				w.reset()
+				srv.ServeHTTP(w, req)
+				if w.code != 200 {
+					b.Fatalf("%s: status %d", p.path, w.code)
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkServeQueriesGzip measures the cached gzip path: pre-compressed
+// bytes served to a client that accepts gzip. SetBytes counts compressed
+// bytes on the wire.
+func BenchmarkServeQueriesGzip(b *testing.B) {
+	st := testStore(b)
+	srv, err := New(Config{Store: st})
+	if err != nil {
+		b.Fatal(err)
+	}
+	warmReq := httptest.NewRequest("GET", "/v1/outcomes", nil)
+	warmReq.Header.Set("Accept-Encoding", "gzip")
+	warm := httptest.NewRecorder()
+	srv.ServeHTTP(warm, warmReq)
+	if warm.Code != 200 || warm.Header().Get("Content-Encoding") != "gzip" {
+		b.Fatalf("warm: status %d encoding %q", warm.Code, warm.Header().Get("Content-Encoding"))
+	}
+	req := httptest.NewRequest("GET", "/v1/outcomes", nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	w := &benchWriter{h: make(http.Header, 8)}
+	b.SetBytes(int64(warm.Body.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.reset()
+		srv.ServeHTTP(w, req)
+		if w.code != 200 {
+			b.Fatalf("status %d", w.code)
+		}
+	}
+}
+
+// BenchmarkServeNotModified measures the conditional-request path: a 304
+// costs header writes and a counter bump, no body.
+func BenchmarkServeNotModified(b *testing.B) {
+	st := testStore(b)
+	srv, err := New(Config{Store: st})
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := httptest.NewRecorder()
+	srv.ServeHTTP(warm, httptest.NewRequest("GET", "/v1/outcomes", nil))
+	etag := warm.Header().Get("ETag")
+	if warm.Code != 200 || etag == "" {
+		b.Fatalf("warm: status %d etag %q", warm.Code, etag)
+	}
+	req := httptest.NewRequest("GET", "/v1/outcomes", nil)
+	req.Header.Set("If-None-Match", etag)
+	w := &benchWriter{h: make(http.Header, 8)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.reset()
+		srv.ServeHTTP(w, req)
+		if w.code != http.StatusNotModified {
+			b.Fatalf("status %d, want 304", w.code)
+		}
 	}
 }

@@ -24,6 +24,21 @@ type endpointStats struct {
 // concurrent reads need no lock.
 type promMetrics struct {
 	endpoints map[string]*endpointStats
+	// Admission counters: every data-endpoint request is either admitted
+	// or shed for exactly one reason, so
+	// admitted + shed(rate_limit) + shed(inflight) equals the requests the
+	// admission layer saw.
+	admitted      atomic.Uint64
+	shedRateLimit atomic.Uint64
+	shedInFlight  atomic.Uint64
+	// notModified counts conditional requests answered 304 from the epoch
+	// ETag without a body.
+	notModified atomic.Uint64
+	// cacheServed counts responses answered from pre-encoded cached view
+	// bytes; cacheRenders counts the once-per-epoch view renders behind
+	// them. served - renders is the work the cache saved.
+	cacheServed  atomic.Uint64
+	cacheRenders atomic.Uint64
 }
 
 func newPromMetrics(endpoints []string) *promMetrics {
@@ -78,6 +93,23 @@ func (m *promMetrics) render(w http.ResponseWriter, gauges map[string]float64) {
 		fmt.Fprintf(&b, "logdiver_http_request_duration_seconds_count{endpoint=%q} %d\n",
 			k, m.endpoints[k].requests.Load())
 	}
+
+	b.WriteString("# HELP logdiver_http_admitted_total Data-endpoint requests admitted past rate limiting and the in-flight bound.\n")
+	b.WriteString("# TYPE logdiver_http_admitted_total counter\n")
+	fmt.Fprintf(&b, "logdiver_http_admitted_total %d\n", m.admitted.Load())
+	b.WriteString("# HELP logdiver_http_shed_total Data-endpoint requests shed by admission control, by reason.\n")
+	b.WriteString("# TYPE logdiver_http_shed_total counter\n")
+	fmt.Fprintf(&b, "logdiver_http_shed_total{reason=\"rate_limit\"} %d\n", m.shedRateLimit.Load())
+	fmt.Fprintf(&b, "logdiver_http_shed_total{reason=\"inflight\"} %d\n", m.shedInFlight.Load())
+	b.WriteString("# HELP logdiver_http_not_modified_total Conditional requests answered 304 from the epoch ETag.\n")
+	b.WriteString("# TYPE logdiver_http_not_modified_total counter\n")
+	fmt.Fprintf(&b, "logdiver_http_not_modified_total %d\n", m.notModified.Load())
+	b.WriteString("# HELP logdiver_cache_served_total Responses served from pre-encoded per-epoch cached bytes.\n")
+	b.WriteString("# TYPE logdiver_cache_served_total counter\n")
+	fmt.Fprintf(&b, "logdiver_cache_served_total %d\n", m.cacheServed.Load())
+	b.WriteString("# HELP logdiver_cache_renders_total Once-per-epoch view renders filling the response cache.\n")
+	b.WriteString("# TYPE logdiver_cache_renders_total counter\n")
+	fmt.Fprintf(&b, "logdiver_cache_renders_total %d\n", m.cacheRenders.Load())
 
 	gkeys := make([]string, 0, len(gauges))
 	for k := range gauges {

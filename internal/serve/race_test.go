@@ -110,3 +110,102 @@ func TestNoMixedEpochReads(t *testing.T) {
 		t.Fatal("no consistency checks executed")
 	}
 }
+
+// TestCacheNoStaleEpoch hammers the cached endpoints while the writer races
+// epoch installs, asserting the cache can never serve stale bytes: the ETag
+// header, the epoch inside the body, and the run count must all agree on
+// every single response. The cache is keyed by snapshot pointer, so a
+// violation here would mean a handler was handed bytes rendered from a
+// snapshot other than the one it loaded.
+func TestCacheNoStaleEpoch(t *testing.T) {
+	top, err := machine.New(machine.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		epochs  = 50
+		readers = 8
+		iters   = 300
+	)
+	snaps := make([]*store.Snapshot, epochs)
+	for i := range snaps {
+		snaps[i] = syntheticSnapshot(t, top, i+1)
+	}
+	st := store.New()
+	srv, err := New(Config{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Install(snaps[0])
+
+	var (
+		stop    atomic.Bool
+		checked atomic.Int64
+		wg      sync.WaitGroup
+		failMu  sync.Mutex
+		failMsg string
+	)
+	fail := func(msg string) {
+		failMu.Lock()
+		if failMsg == "" {
+			failMsg = msg
+		}
+		failMu.Unlock()
+		stop.Store(true)
+	}
+
+	paths := []string{"/v1/outcomes", "/v1/runs", "/v1/runs?limit=7"}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters && !stop.Load(); i++ {
+				path := paths[(g+i)%len(paths)]
+				req := httptest.NewRequest("GET", path, nil)
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				if rec.Code != 200 {
+					fail(fmt.Sprintf("%s: status %d", path, rec.Code))
+					return
+				}
+				var body struct {
+					Epoch     uint64 `json:"epoch"`
+					Total     *int   `json:"total"`
+					TotalRuns *int   `json:"total_runs"`
+				}
+				if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+					fail(fmt.Sprintf("%s: bad JSON: %v", path, err))
+					return
+				}
+				wantETag := fmt.Sprintf("%q", fmt.Sprint(body.Epoch))
+				if etag := rec.Header().Get("ETag"); etag != wantETag {
+					fail(fmt.Sprintf("%s: stale cache: ETag %s but body epoch %d", path, etag, body.Epoch))
+					return
+				}
+				runs := -1
+				if body.Total != nil {
+					runs = *body.Total
+				} else if body.TotalRuns != nil {
+					runs = *body.TotalRuns
+				}
+				if runs >= 0 && uint64(runs) != body.Epoch {
+					fail(fmt.Sprintf("%s: mixed-epoch cached read: epoch %d with %d runs", path, body.Epoch, runs))
+					return
+				}
+				checked.Add(1)
+			}
+		}(g)
+	}
+
+	for _, s := range snaps[1:] {
+		st.Install(s)
+		runtime.Gosched()
+	}
+	wg.Wait()
+	if failMsg != "" {
+		t.Fatal(failMsg)
+	}
+	if checked.Load() == 0 {
+		t.Fatal("no cache consistency checks executed")
+	}
+}

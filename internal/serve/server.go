@@ -10,9 +10,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"logdiver/internal/core"
@@ -68,7 +70,29 @@ type Config struct {
 	// MaxQueryBytes and MaxBodyBytes bound request size (defaults above).
 	MaxQueryBytes int
 	MaxBodyBytes  int64
-	// Now injects the clock for the ingestion-lag gauge (time.Now if nil).
+	// DisableCache turns the per-epoch response cache off: every request
+	// renders its view from the snapshot. Responses stay byte-identical to
+	// cached ones; only the cost per request changes.
+	DisableCache bool
+	// RateLimit admits at most this many requests per second per client on
+	// the data endpoints (token bucket; excess gets 429 + Retry-After).
+	// Zero or negative disables per-client rate limiting.
+	RateLimit float64
+	// RateBurst is the token-bucket burst capacity (min 1; defaults to
+	// 2*RateLimit rounded up when zero).
+	RateBurst int
+	// MaxClients bounds the rate limiter's tracking map
+	// (DefaultMaxClients when zero).
+	MaxClients int
+	// MaxInFlight bounds concurrently executing data-endpoint requests;
+	// excess requests are shed immediately with 503 + Retry-After. Zero or
+	// negative disables the bound.
+	MaxInFlight int
+	// RetryAfter is the Retry-After hint sent with 503 concurrency sheds
+	// (DefaultRetryAfter when zero).
+	RetryAfter time.Duration
+	// Now injects the clock for the ingestion-lag gauge and the rate
+	// limiter (time.Now if nil).
 	Now func() time.Time
 }
 
@@ -77,11 +101,21 @@ type Server struct {
 	cfg  Config
 	prom *promMetrics
 	mux  *http.ServeMux
+
+	// cache is the published per-epoch response cache; see cache.go.
+	cache atomic.Pointer[viewCaches]
+	// inFlight counts executing data-endpoint requests against
+	// cfg.MaxInFlight.
+	inFlight atomic.Int64
+	// limiter is the per-client token bucket (nil when rate limiting is
+	// off); retryAfter is the precomputed 503 Retry-After header value.
+	limiter    *clientLimiter
+	retryAfter string
 }
 
 // Endpoint keys used in metrics labels.
 var endpointKeys = []string{
-	"health", "outcomes", "scaling", "mtti", "categories", "runs", "metrics",
+	"health", "outcomes", "scaling", "mtti", "categories", "runs", "runs_list", "metrics",
 }
 
 // New validates cfg and builds the route table.
@@ -98,38 +132,83 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	s := &Server{cfg: cfg, prom: newPromMetrics(endpointKeys), mux: http.NewServeMux()}
+	s := &Server{
+		cfg:        cfg,
+		prom:       newPromMetrics(endpointKeys),
+		mux:        http.NewServeMux(),
+		retryAfter: strconv.Itoa(int(math.Ceil(cfg.RetryAfter.Seconds()))),
+	}
+	if cfg.RateLimit > 0 {
+		burst := cfg.RateBurst
+		if burst <= 0 {
+			burst = int(math.Ceil(2 * cfg.RateLimit))
+		}
+		s.limiter = newClientLimiter(cfg.RateLimit, burst, cfg.MaxClients, cfg.Now)
+	}
 	s.route("GET /v1/health", "health", s.handleHealth)
-	s.route("GET /v1/outcomes", "outcomes", s.handleOutcomes)
-	s.route("GET /v1/scaling", "scaling", s.handleScaling)
-	s.route("GET /v1/mtti", "mtti", s.handleMTTI)
-	s.route("GET /v1/categories", "categories", s.handleCategories)
+	s.routeFast("GET /v1/outcomes", "outcomes", s.handleOutcomes)
+	s.routeFast("GET /v1/scaling", "scaling", s.handleScaling)
+	s.routeFast("GET /v1/mtti", "mtti", s.handleMTTI)
+	s.routeFast("GET /v1/categories", "categories", s.handleCategories)
+	s.routeFast("GET /v1/runs", "runs_list", s.handleRuns)
 	s.route("GET /v1/runs/{apid}", "runs", s.handleRun)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
 	return s, nil
 }
 
-// route registers one instrumented, size-bounded, deadline-bounded handler.
-// The instrumentation wraps OUTSIDE the timeout so the counters see the 503
-// a timed-out client actually received.
-func (s *Server) route(pattern, key string, h http.HandlerFunc) {
-	limited := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+// guard applies the request-size bounds and, for data endpoints (everything
+// but health and metrics — the probes operators need most while the server
+// sheds), the admission pipeline around h.
+func (s *Server) guard(key string, h http.HandlerFunc) http.HandlerFunc {
+	admitted := key != "health" && key != "metrics"
+	return func(w http.ResponseWriter, r *http.Request) {
 		if len(r.URL.RawQuery) > s.cfg.MaxQueryBytes {
 			s.writeErr(w, http.StatusRequestURITooLong, "query string too long")
 			return
 		}
-		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		if admitted {
+			if !s.admit(w, r) {
+				return
+			}
+			defer s.release()
+		}
+		if r.Body != nil && r.Body != http.NoBody {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
 		h(w, r)
-	})
-	inner := http.Handler(limited)
+	}
+}
+
+// route registers one instrumented, size-bounded, admission-checked,
+// deadline-bounded handler. The instrumentation wraps OUTSIDE the timeout
+// so the counters see the 503 a timed-out client actually received.
+func (s *Server) route(pattern, key string, h http.HandlerFunc) {
+	inner := http.Handler(s.guard(key, h))
 	if key != "metrics" && key != "health" {
 		// Health and metrics stay cheap and deadline-free: they are the
 		// probes operators use to diagnose an overloaded server.
-		inner = http.TimeoutHandler(limited, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+		inner = http.TimeoutHandler(inner, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
 	}
+	s.instrument(pattern, key, inner)
+}
+
+// routeFast registers a handler outside http.TimeoutHandler: the cacheable
+// endpoints answer from pre-encoded bytes or a bounded in-memory render and
+// cannot block, so they skip the per-request timeout goroutine and response
+// buffer — that is what makes the cached path nearly allocation-free.
+// Slow-client writes are bounded by the http.Server write timeout instead.
+func (s *Server) routeFast(pattern, key string, h http.HandlerFunc) {
+	s.instrument(pattern, key, s.guard(key, h))
+}
+
+// instrument mounts inner with the per-endpoint status/latency counters.
+func (s *Server) instrument(pattern, key string, inner http.Handler) {
 	s.mux.Handle(pattern, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w}
 		began := s.cfg.Now()
@@ -150,6 +229,9 @@ func (s *Server) Serve(ctx context.Context, l net.Listener, drain time.Duration)
 	srv := &http.Server{
 		Handler:           s,
 		ReadHeaderTimeout: 5 * time.Second,
+		// The fast (un-TimeoutHandler-ed) cached endpoints rely on this to
+		// bound writes to slow clients.
+		WriteTimeout: 30 * time.Second,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(l) }()
@@ -277,11 +359,7 @@ var outcomeOrder = []correlate.Outcome{
 	correlate.OutcomeSystemFailure,
 }
 
-func (s *Server) handleOutcomes(w http.ResponseWriter, r *http.Request) {
-	snap, ok := s.snapshot(w)
-	if !ok {
-		return
-	}
+func renderOutcomes(snap *store.Snapshot) []byte {
 	b := snap.Outcomes
 	resp := outcomesResponse{
 		Epoch:                   snap.Epoch,
@@ -298,7 +376,15 @@ func (s *Server) handleOutcomes(w http.ResponseWriter, r *http.Request) {
 			NodeHours: b.NodeHours[o],
 		})
 	}
-	s.writeJSON(w, http.StatusOK, resp)
+	return encodeJSON(resp)
+}
+
+func (s *Server) handleOutcomes(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snapshot(w)
+	if !ok {
+		return
+	}
+	s.serveView(w, r, snap, viewOutcomes, renderOutcomes)
 }
 
 // ---- /v1/scaling ----
@@ -320,23 +406,7 @@ type scalingResponse struct {
 	Buckets []scaleRow `json:"buckets"`
 }
 
-func (s *Server) handleScaling(w http.ResponseWriter, r *http.Request) {
-	snap, ok := s.snapshot(w)
-	if !ok {
-		return
-	}
-	var buckets []metrics.ScaleBucket
-	class := r.URL.Query().Get("class")
-	switch class {
-	case "", "xe":
-		class = "xe"
-		buckets = snap.ScalingXE
-	case "xk":
-		buckets = snap.ScalingXK
-	default:
-		s.writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown class %q: want xe or xk", class))
-		return
-	}
+func renderScaling(snap *store.Snapshot, class string, buckets []metrics.ScaleBucket) []byte {
 	resp := scalingResponse{Epoch: snap.Epoch, Class: class, Buckets: make([]scaleRow, 0, len(buckets))}
 	for _, b := range buckets {
 		resp.Buckets = append(resp.Buckets, scaleRow{
@@ -350,7 +420,30 @@ func (s *Server) handleScaling(w http.ResponseWriter, r *http.Request) {
 			ProbHi:   b.Prob.Hi,
 		})
 	}
-	s.writeJSON(w, http.StatusOK, resp)
+	return encodeJSON(resp)
+}
+
+func renderScalingXE(snap *store.Snapshot) []byte {
+	return renderScaling(snap, "xe", snap.ScalingXE)
+}
+
+func renderScalingXK(snap *store.Snapshot) []byte {
+	return renderScaling(snap, "xk", snap.ScalingXK)
+}
+
+func (s *Server) handleScaling(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snapshot(w)
+	if !ok {
+		return
+	}
+	switch class := r.URL.Query().Get("class"); class {
+	case "", "xe":
+		s.serveView(w, r, snap, viewScalingXE, renderScalingXE)
+	case "xk":
+		s.serveView(w, r, snap, viewScalingXK, renderScalingXK)
+	default:
+		s.writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown class %q: want xe or xk", class))
+	}
 }
 
 // ---- /v1/mtti ----
@@ -369,11 +462,7 @@ type mttiResponse struct {
 	Buckets []mttiRow `json:"buckets"`
 }
 
-func (s *Server) handleMTTI(w http.ResponseWriter, r *http.Request) {
-	snap, ok := s.snapshot(w)
-	if !ok {
-		return
-	}
+func renderMTTI(snap *store.Snapshot) []byte {
 	resp := mttiResponse{Epoch: snap.Epoch, Buckets: make([]mttiRow, 0, len(snap.MTTI))}
 	for _, b := range snap.MTTI {
 		resp.Buckets = append(resp.Buckets, mttiRow{
@@ -385,7 +474,15 @@ func (s *Server) handleMTTI(w http.ResponseWriter, r *http.Request) {
 			MTTIHours:     b.MTTIHours,
 		})
 	}
-	s.writeJSON(w, http.StatusOK, resp)
+	return encodeJSON(resp)
+}
+
+func (s *Server) handleMTTI(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snapshot(w)
+	if !ok {
+		return
+	}
+	s.serveView(w, r, snap, viewMTTI, renderMTTI)
 }
 
 // ---- /v1/categories ----
@@ -402,11 +499,7 @@ type categoriesResponse struct {
 	Categories []categoryRow `json:"categories"`
 }
 
-func (s *Server) handleCategories(w http.ResponseWriter, r *http.Request) {
-	snap, ok := s.snapshot(w)
-	if !ok {
-		return
-	}
+func renderCategories(snap *store.Snapshot) []byte {
 	resp := categoriesResponse{Epoch: snap.Epoch, Categories: make([]categoryRow, 0, len(snap.Categories))}
 	for _, c := range snap.Categories {
 		resp.Categories = append(resp.Categories, categoryRow{
@@ -416,7 +509,15 @@ func (s *Server) handleCategories(w http.ResponseWriter, r *http.Request) {
 			NodeHoursLost: c.NodeHoursLost,
 		})
 	}
-	s.writeJSON(w, http.StatusOK, resp)
+	return encodeJSON(resp)
+}
+
+func (s *Server) handleCategories(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snapshot(w)
+	if !ok {
+		return
+	}
+	s.serveView(w, r, snap, viewCategories, renderCategories)
 }
 
 // ---- /v1/runs/{apid} ----
@@ -461,6 +562,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	run, ok := snap.Run(apid)
 	if !ok {
 		s.writeErr(w, http.StatusNotFound, fmt.Sprintf("no run with apid %d in epoch %d", apid, snap.Epoch))
+		return
+	}
+	// The drill-down is a pure function of (snapshot, apid), so it shares
+	// the epoch ETag: a client re-fetching within the epoch gets a 304
+	// without the render.
+	etag := s.etagFor(snap)
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", cacheControl)
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		s.prom.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	resp := runResponse{

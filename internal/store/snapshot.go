@@ -8,6 +8,7 @@ package store
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"logdiver/internal/core"
@@ -58,6 +59,13 @@ type Snapshot struct {
 
 	// runIndex maps apid to Result.Runs index for the drill-down endpoint.
 	runIndex map[uint64]int
+	// apidsSorted holds every run apid in ascending order. It backs the
+	// paginated /v1/runs listing: apids are assigned at submission and never
+	// renumbered by re-attribution, so this ordering is stable across
+	// epochs — a client paging through runs while the epoch advances sees
+	// each run at most once per traversal, plus any newly ingested runs
+	// whose apids sort after its cursor.
+	apidsSorted []uint64
 }
 
 // Build derives a Snapshot from a pipeline Result. The epoch is zero until
@@ -88,10 +96,41 @@ func Build(res *core.Result, top *machine.Topology, ing IngestStats, at time.Tim
 	if s.MTTI, err = metrics.MTTIByScale(res.Runs, allBounds, 0); err != nil {
 		return nil, fmt.Errorf("store: mtti: %w", err)
 	}
+	s.apidsSorted = make([]uint64, len(res.Runs))
 	for i, r := range res.Runs {
 		s.runIndex[r.ApID] = i
+		s.apidsSorted[i] = r.ApID
 	}
+	slices.Sort(s.apidsSorted)
 	return s, nil
+}
+
+// TotalRuns is the number of runs in the snapshot.
+func (s *Snapshot) TotalRuns() int { return len(s.apidsSorted) }
+
+// RunsPage returns up to limit runs whose apid is strictly greater than
+// afterApID, in ascending apid order, plus the apid of the last returned run
+// (0 when the page is empty). Page with afterApID=0 for the first page and
+// feed each page's last apid back in for the next; the ordering is stable
+// across epochs, so a traversal never shows the same run twice.
+func (s *Snapshot) RunsPage(afterApID uint64, limit int) (runs []correlate.AttributedRun, last uint64) {
+	if limit <= 0 {
+		return nil, 0
+	}
+	if afterApID == ^uint64(0) { // cursor at the maximum apid: nothing follows
+		return nil, 0
+	}
+	// First apid strictly greater than the cursor.
+	i, _ := slices.BinarySearch(s.apidsSorted, afterApID+1)
+	end := min(i+limit, len(s.apidsSorted))
+	if i >= end {
+		return nil, 0
+	}
+	runs = make([]correlate.AttributedRun, 0, end-i)
+	for _, apid := range s.apidsSorted[i:end] {
+		runs = append(runs, s.Result.Runs[s.runIndex[apid]])
+	}
+	return runs, s.apidsSorted[end-1]
 }
 
 // Run returns the attributed run with the given apid, if present.

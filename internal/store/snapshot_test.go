@@ -1,0 +1,117 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"logdiver/internal/alps"
+	"logdiver/internal/core"
+	"logdiver/internal/correlate"
+	"logdiver/internal/machine"
+)
+
+// pageSnapshot builds a snapshot over n runs whose apids are deliberately
+// NOT in slice order, so the pagination tests prove RunsPage sorts rather
+// than echoing ingestion order.
+func pageSnapshot(t *testing.T, apids []uint64) *Snapshot {
+	t.Helper()
+	top, err := machine.New(machine.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	runs := make([]correlate.AttributedRun, len(apids))
+	for i, apid := range apids {
+		runs[i] = correlate.AttributedRun{
+			AppRun: alps.AppRun{
+				ApID:  apid,
+				Nodes: []machine.NodeID{machine.NodeID(i % 8)},
+				Start: base.Add(time.Duration(i) * time.Minute),
+				End:   base.Add(time.Duration(i+1) * time.Minute),
+			},
+			Class:   machine.ClassXE,
+			Outcome: correlate.OutcomeSuccess,
+		}
+	}
+	snap, err := Build(&core.Result{Runs: runs}, top, IngestStats{}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func TestRunsPage(t *testing.T) {
+	// Apids 2,4,...,40 shuffled: pages must come back sorted ascending.
+	apids := make([]uint64, 20)
+	for i := range apids {
+		apids[i] = uint64(2 * (i + 1))
+	}
+	rand.New(rand.NewSource(7)).Shuffle(len(apids), func(i, j int) {
+		apids[i], apids[j] = apids[j], apids[i]
+	})
+	snap := pageSnapshot(t, apids)
+	if snap.TotalRuns() != 20 {
+		t.Fatalf("TotalRuns = %d, want 20", snap.TotalRuns())
+	}
+
+	tests := []struct {
+		name      string
+		after     uint64
+		limit     int
+		wantFirst uint64
+		wantN     int
+		wantLast  uint64
+	}{
+		{"first page", 0, 5, 2, 5, 10},
+		{"middle page", 10, 5, 12, 5, 20},
+		{"cursor between apids", 11, 5, 12, 5, 20},
+		{"last partial page", 36, 5, 38, 2, 40},
+		{"exactly at end", 40, 5, 0, 0, 0},
+		{"beyond end", 1000, 5, 0, 0, 0},
+		{"max cursor", ^uint64(0), 5, 0, 0, 0},
+		{"limit covers all", 0, 100, 2, 20, 40},
+		{"zero limit", 0, 0, 0, 0, 0},
+		{"negative limit", 0, -3, 0, 0, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			runs, last := snap.RunsPage(tc.after, tc.limit)
+			if len(runs) != tc.wantN || last != tc.wantLast {
+				t.Fatalf("RunsPage(%d, %d) = %d runs, last %d; want %d runs, last %d",
+					tc.after, tc.limit, len(runs), last, tc.wantN, tc.wantLast)
+			}
+			if tc.wantN == 0 {
+				return
+			}
+			if runs[0].ApID != tc.wantFirst {
+				t.Errorf("first apid %d, want %d", runs[0].ApID, tc.wantFirst)
+			}
+			for i := 1; i < len(runs); i++ {
+				if runs[i].ApID <= runs[i-1].ApID {
+					t.Fatalf("page not strictly ascending at %d: %d then %d", i, runs[i-1].ApID, runs[i].ApID)
+				}
+			}
+		})
+	}
+
+	// A full traversal via cursors visits every run exactly once.
+	seen := make(map[uint64]bool)
+	cursor := uint64(0)
+	for {
+		runs, last := snap.RunsPage(cursor, 3)
+		if len(runs) == 0 {
+			break
+		}
+		for _, r := range runs {
+			if seen[r.ApID] {
+				t.Fatalf("apid %d returned twice", r.ApID)
+			}
+			seen[r.ApID] = true
+		}
+		cursor = last
+	}
+	if len(seen) != 20 {
+		t.Fatalf("traversal saw %d runs, want 20", len(seen))
+	}
+}
