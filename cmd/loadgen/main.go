@@ -37,6 +37,11 @@
 // Retry-After — the server's honest overload answer, never an error), or
 // error (transport failure, any other status, or a shed missing its
 // Retry-After hint).
+//
+// Against a daemon running in fleet mode (-fleet-config), the mix kinds
+// fleet and fleet_machine hit the merged /v1/fleet/* views and per-machine
+// shard views (-mix fleet=3,fleet_machine=2,...); preflight learns the
+// shard machine names from the /v1/health fleet section.
 package main
 
 import (
@@ -103,7 +108,7 @@ func realMain() error {
 	}
 
 	client := &http.Client{Timeout: cfg.timeout}
-	apids, err := preflight(client, cfg.baseURL, cfg.wait)
+	tg, err := preflight(client, cfg.baseURL, cfg.wait)
 	if err != nil {
 		return err
 	}
@@ -111,9 +116,9 @@ func realMain() error {
 	var res *results
 	switch cfg.mode {
 	case "closed":
-		res = runClosed(cfg, client, apids)
+		res = runClosed(cfg, client, tg)
 	case "open":
-		res = runOpen(cfg, client, apids)
+		res = runOpen(cfg, client, tg)
 	default:
 		return fmt.Errorf("unknown -mode %q: want closed or open", cfg.mode)
 	}
@@ -141,6 +146,11 @@ func realMain() error {
 // gzip negotiation.
 const defaultMix = "outcomes=3,scaling=2,mtti=1,categories=1,runs_list=2,runs_page=1,runs=1,cond=3,gzip=1"
 
+// fleetMix adds the scatter-gather plane to the default mix: merged fleet
+// views plus per-machine shard views. Use it against a daemon started with
+// -fleet-config (the fleet paths 404 on a single-machine daemon).
+const fleetMix = defaultMix + ",fleet=3,fleet_machine=2"
+
 type mixEntry struct {
 	kind   string
 	weight int
@@ -149,6 +159,7 @@ type mixEntry struct {
 var knownKinds = map[string]bool{
 	"outcomes": true, "scaling": true, "mtti": true, "categories": true,
 	"runs_list": true, "runs_page": true, "runs": true, "cond": true, "gzip": true,
+	"fleet": true, "fleet_machine": true,
 }
 
 func parseMix(spec string) ([]mixEntry, error) {
@@ -194,9 +205,17 @@ type plan struct {
 	gzip bool
 }
 
+// targets is what preflight learned about the server: real apids for run
+// drill-downs and, when the daemon serves a fleet, its shard machine names
+// for per-machine fleet views.
+type targets struct {
+	apids    []uint64
+	machines []string
+}
+
 // pickPlan draws one request from the mix using rng. All randomness lives
 // here, so the request sequence is a pure function of the seed.
-func pickPlan(rng *rand.Rand, mix []mixEntry, total int, apids []uint64) plan {
+func pickPlan(rng *rand.Rand, mix []mixEntry, total int, tg targets) plan {
 	n := rng.Intn(total)
 	kind := mix[len(mix)-1].kind
 	for _, e := range mix {
@@ -222,10 +241,19 @@ func pickPlan(rng *rand.Rand, mix []mixEntry, total int, apids []uint64) plan {
 		limits := []string{"25", "50", "250"}
 		return plan{path: "/v1/runs?limit=" + limits[rng.Intn(len(limits))]}
 	case "runs":
-		if len(apids) == 0 {
+		if len(tg.apids) == 0 {
 			return plan{path: "/v1/runs"}
 		}
-		return plan{path: fmt.Sprintf("/v1/runs/%d", apids[rng.Intn(len(apids))])}
+		return plan{path: fmt.Sprintf("/v1/runs/%d", tg.apids[rng.Intn(len(tg.apids))])}
+	case "fleet":
+		views := []string{"/v1/fleet/outcomes", "/v1/fleet/scaling?class=xe",
+			"/v1/fleet/scaling?class=xk", "/v1/fleet/mtti", "/v1/fleet/categories"}
+		return plan{path: views[rng.Intn(len(views))]}
+	case "fleet_machine":
+		if len(tg.machines) == 0 {
+			return plan{path: "/v1/fleet/outcomes"}
+		}
+		return plan{path: "/v1/fleet/outcomes?machine=" + tg.machines[rng.Intn(len(tg.machines))]}
 	case "cond":
 		return plan{path: "/v1/outcomes", cond: true}
 	default: // gzip
@@ -233,31 +261,47 @@ func pickPlan(rng *rand.Rand, mix []mixEntry, total int, apids []uint64) plan {
 	}
 }
 
-// preflight waits for /v1/health to answer 200, then learns a set of real
-// apids from the first runs page so the mix can exercise drill-downs.
-func preflight(client *http.Client, base string, wait time.Duration) ([]uint64, error) {
+// preflight waits for /v1/health to answer 200, learns the fleet's shard
+// machine names from the health body (empty for a single-machine daemon),
+// then learns a set of real apids from the first runs page so the mix can
+// exercise drill-downs.
+func preflight(client *http.Client, base string, wait time.Duration) (targets, error) {
+	var tg targets
 	deadline := time.Now().Add(wait)
 	for {
 		resp, err := client.Get(base + "/v1/health")
+		if err == nil && resp.StatusCode == http.StatusOK {
+			var health struct {
+				Fleet *struct {
+					Shards []struct {
+						Name string `json:"name"`
+					} `json:"shards"`
+				} `json:"fleet"`
+			}
+			decErr := json.NewDecoder(resp.Body).Decode(&health)
+			resp.Body.Close()
+			if decErr == nil && health.Fleet != nil {
+				for _, sh := range health.Fleet.Shards {
+					tg.machines = append(tg.machines, sh.Name)
+				}
+			}
+			break
+		}
 		if err == nil {
-			ok := resp.StatusCode == http.StatusOK
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
-			if ok {
-				break
-			}
 		}
 		if time.Now().After(deadline) {
 			if err != nil {
-				return nil, fmt.Errorf("server not healthy after %s: %v", wait, err)
+				return tg, fmt.Errorf("server not healthy after %s: %v", wait, err)
 			}
-			return nil, fmt.Errorf("server not healthy after %s", wait)
+			return tg, fmt.Errorf("server not healthy after %s", wait)
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
 	resp, err := client.Get(base + "/v1/runs")
 	if err != nil {
-		return nil, err
+		return tg, err
 	}
 	defer resp.Body.Close()
 	var page struct {
@@ -266,13 +310,12 @@ func preflight(client *http.Client, base string, wait time.Duration) ([]uint64, 
 		} `json:"runs"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
-		return nil, fmt.Errorf("decoding /v1/runs: %w", err)
+		return tg, fmt.Errorf("decoding /v1/runs: %w", err)
 	}
-	apids := make([]uint64, 0, len(page.Runs))
 	for _, r := range page.Runs {
-		apids = append(apids, r.ApID)
+		tg.apids = append(tg.apids, r.ApID)
 	}
-	return apids, nil
+	return tg, nil
 }
 
 // outcome is one request's classified result.
@@ -356,7 +399,7 @@ func collect(mode string, outs []outcome, elapsed time.Duration) *results {
 
 // runClosed keeps cfg.workers requests in flight until cfg.requests have
 // completed. Worker w draws its mix from seed+w.
-func runClosed(cfg config, client *http.Client, apids []uint64) *results {
+func runClosed(cfg config, client *http.Client, tg targets) *results {
 	total := mixTotal(cfg.mix)
 	outs := make([]outcome, cfg.requests)
 	var (
@@ -371,7 +414,7 @@ func runClosed(cfg config, client *http.Client, apids []uint64) *results {
 			rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
 			etag := ""
 			for i := range next {
-				p := pickPlan(rng, cfg.mix, total, apids)
+				p := pickPlan(rng, cfg.mix, total, tg)
 				outs[i] = doRequest(client, cfg.baseURL, p, time.Now(), &etag)
 			}
 		}(w)
@@ -389,7 +432,7 @@ func runClosed(cfg config, client *http.Client, apids []uint64) *results {
 // deterministic; outstanding requests are bounded at 4x workers, and the
 // wait for a slot counts into the request's latency (it is queueing the
 // server caused).
-func runOpen(cfg config, client *http.Client, apids []uint64) *results {
+func runOpen(cfg config, client *http.Client, tg targets) *results {
 	interval := time.Duration(float64(time.Second) / cfg.rps)
 	n := int(cfg.duration.Seconds() * cfg.rps)
 	if n < 1 {
@@ -399,7 +442,7 @@ func runOpen(cfg config, client *http.Client, apids []uint64) *results {
 	total := mixTotal(cfg.mix)
 	plans := make([]plan, n)
 	for i := range plans {
-		plans[i] = pickPlan(rng, cfg.mix, total, apids)
+		plans[i] = pickPlan(rng, cfg.mix, total, tg)
 	}
 
 	outs := make([]outcome, n)

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -12,6 +14,8 @@ import (
 	"logdiver/internal/alps"
 	"logdiver/internal/core"
 	"logdiver/internal/correlate"
+	"logdiver/internal/fleet"
+	"logdiver/internal/gen"
 	"logdiver/internal/machine"
 	"logdiver/internal/serve"
 	"logdiver/internal/store"
@@ -32,6 +36,13 @@ func TestParseMix(t *testing.T) {
 		if _, err := parseMix(bad); err == nil {
 			t.Errorf("parseMix(%q) accepted, want error", bad)
 		}
+	}
+	fm, err := parseMix(fleetMix)
+	if err != nil {
+		t.Fatalf("fleet mix rejected: %v", err)
+	}
+	if len(fm) != 11 || mixTotal(fm) != 20 {
+		t.Fatalf("fleet mix: %d entries, weight %d, want 11 and 20", len(fm), mixTotal(fm))
 	}
 }
 
@@ -67,12 +78,12 @@ func TestPickPlanDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	total := mixTotal(mix)
-	apids := []uint64{1, 2, 3}
+	tg := targets{apids: []uint64{1, 2, 3}}
 	draw := func(seed int64) []string {
 		rng := rand.New(rand.NewSource(seed))
 		seq := make([]string, 200)
 		for i := range seq {
-			p := pickPlan(rng, mix, total, apids)
+			p := pickPlan(rng, mix, total, tg)
 			seq[i] = p.path
 			if p.cond {
 				seq[i] += "+cond"
@@ -177,18 +188,21 @@ func testSnapshotServer(t *testing.T, cfg serve.Config) *httptest.Server {
 func TestClosedLoopIntegration(t *testing.T) {
 	ts := testSnapshotServer(t, serve.Config{})
 	client := &http.Client{Timeout: 5 * time.Second}
-	apids, err := preflight(client, ts.URL, 5*time.Second)
+	tg, err := preflight(client, ts.URL, 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(apids) != 40 {
-		t.Fatalf("preflight learned %d apids, want 40", len(apids))
+	if len(tg.apids) != 40 {
+		t.Fatalf("preflight learned %d apids, want 40", len(tg.apids))
+	}
+	if len(tg.machines) != 0 {
+		t.Fatalf("single-machine daemon reported fleet machines %v", tg.machines)
 	}
 	cfg := config{
 		baseURL: ts.URL, workers: 4, requests: 300, seed: 1,
 		mix: mustMix(t), timeout: 5 * time.Second,
 	}
-	res := runClosed(cfg, client, apids)
+	res := runClosed(cfg, client, tg)
 	if res.total != 300 {
 		t.Fatalf("total %d, want 300", res.total)
 	}
@@ -210,7 +224,7 @@ func TestClosedLoopIntegration(t *testing.T) {
 func TestOpenLoopIntegration(t *testing.T) {
 	ts := testSnapshotServer(t, serve.Config{})
 	client := &http.Client{Timeout: 5 * time.Second}
-	apids, err := preflight(client, ts.URL, 5*time.Second)
+	tg, err := preflight(client, ts.URL, 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +232,7 @@ func TestOpenLoopIntegration(t *testing.T) {
 		baseURL: ts.URL, workers: 4, rps: 400, duration: 500 * time.Millisecond,
 		seed: 3, mix: mustMix(t), timeout: 5 * time.Second,
 	}
-	res := runOpen(cfg, client, apids)
+	res := runOpen(cfg, client, tg)
 	want := int(cfg.duration.Seconds() * cfg.rps)
 	if res.total != want {
 		t.Fatalf("total %d, want %d", res.total, want)
@@ -237,7 +251,7 @@ func TestOpenLoopIntegration(t *testing.T) {
 func TestShedClassification(t *testing.T) {
 	ts := testSnapshotServer(t, serve.Config{RateLimit: 5, RateBurst: 5})
 	client := &http.Client{Timeout: 5 * time.Second}
-	apids, err := preflight(client, ts.URL, 5*time.Second)
+	tg, err := preflight(client, ts.URL, 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +260,7 @@ func TestShedClassification(t *testing.T) {
 		baseURL: ts.URL, workers: 4, requests: 100, seed: 1,
 		mix: mustMix(t), timeout: 5 * time.Second,
 	}
-	res := runClosed(cfg, client, apids)
+	res := runClosed(cfg, client, tg)
 	if res.errs != 0 {
 		t.Fatalf("%d errors; sheds must classify as sheds", res.errs)
 	}
@@ -279,7 +293,7 @@ func TestShedWithoutRetryAfterIsError(t *testing.T) {
 	}))
 	defer ts.Close()
 	client := &http.Client{Timeout: 5 * time.Second}
-	apids, err := preflight(client, ts.URL, time.Second)
+	tg, err := preflight(client, ts.URL, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +301,7 @@ func TestShedWithoutRetryAfterIsError(t *testing.T) {
 		baseURL: ts.URL, workers: 2, requests: 40, seed: 1,
 		mix: []mixEntry{{kind: "outcomes", weight: 1}}, timeout: 5 * time.Second,
 	}
-	res := runClosed(cfg, client, apids)
+	res := runClosed(cfg, client, tg)
 	if res.errs == 0 || len(res.shedLat) == 0 {
 		t.Fatalf("want both errors (no hint) and sheds (hinted): errs=%d sheds=%d",
 			res.errs, len(res.shedLat))
@@ -304,4 +318,80 @@ func mustMix(t *testing.T) []mixEntry {
 		t.Fatal(err)
 	}
 	return mix
+}
+
+// TestFleetMixIntegration drives the fleet kinds against a real fleet
+// daemon stack: preflight learns the shard machine names from /v1/health
+// and the closed loop lands every merged and per-machine fleet request.
+func TestFleetMixIntegration(t *testing.T) {
+	machines := gen.Fleet(2, 1, 31)
+	for i := range machines {
+		machines[i].Config.Workload.JobsPerDay = 60
+	}
+	root := t.TempDir()
+	var b strings.Builder
+	for _, m := range machines {
+		ds, err := gen.Generate(m.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.WriteDir(filepath.Join(root, m.Name)); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "[shard %s]\narchive-dir = %s\nmachine = small\n",
+			m.Name, filepath.Join(root, m.Name))
+	}
+	fcfg, err := fleet.ParseConfig(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := fleet.NewManager(fleet.ManagerConfig{Config: fcfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.SyncRound(t.Context())
+	srv, err := serve.New(serve.Config{Fleet: mgr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	tg, err := preflight(client, ts.URL, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tg.machines) != 2 {
+		t.Fatalf("preflight learned machines %v, want 2", tg.machines)
+	}
+
+	mix, err := parseMix("fleet=3,fleet_machine=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The seeded draw must reach both merged and per-machine paths.
+	rng := rand.New(rand.NewSource(5))
+	var joined strings.Builder
+	for i := 0; i < 100; i++ {
+		joined.WriteString(pickPlan(rng, mix, mixTotal(mix), tg).path + " ")
+	}
+	for _, want := range []string{"/v1/fleet/outcomes", "/v1/fleet/scaling?class=",
+		"/v1/fleet/mtti", "/v1/fleet/categories", "?machine=" + tg.machines[0], "?machine=" + tg.machines[1]} {
+		if !strings.Contains(joined.String(), want) {
+			t.Errorf("100 fleet draws never produced %q", want)
+		}
+	}
+
+	cfg := config{
+		baseURL: ts.URL, workers: 4, requests: 200, seed: 1,
+		mix: mix, timeout: 5 * time.Second,
+	}
+	res := runClosed(cfg, client, tg)
+	if res.errs != 0 || len(res.shedLat) != 0 {
+		t.Fatalf("fleet mix: %d errors, %d sheds, want 0/0", res.errs, len(res.shedLat))
+	}
+	if len(res.okLat) != 200 {
+		t.Fatalf("ok %d, want 200", len(res.okLat))
+	}
 }

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"logdiver/internal/fleet"
+)
+
+// runCapture runs the CLI with stdout redirected to a buffer file.
+func runCapture(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	outPath := filepath.Join(t.TempDir(), "out.txt")
+	outFile, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origStdout := os.Stdout
+	os.Stdout = outFile
+	runErr := run(args)
+	os.Stdout = origStdout
+	outFile.Close()
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestGenerateFleetLayout(t *testing.T) {
+	out := t.TempDir()
+	if err := run([]string{"generate", "-fleet", "2", "-days", "1", "-seed", "9", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg, err := fleet.LoadConfig(filepath.Join(out, "fleet.conf"))
+	if err != nil {
+		t.Fatalf("fleet.conf unusable: %v", err)
+	}
+	if len(cfg.Shards) != 2 {
+		t.Fatalf("fleet.conf has %d shards, want 2", len(cfg.Shards))
+	}
+	for _, sc := range cfg.Shards {
+		// LoadConfig resolves the relative archive-dir against the config
+		// file's directory, so the shard dirs must exist with all archives.
+		for _, name := range []string{"accounting.log", "apsys.log", "syslog.log", "truth.jsonl"} {
+			info, err := os.Stat(filepath.Join(sc.ArchiveDir, name))
+			if err != nil {
+				t.Fatalf("shard %s missing %s: %v", sc.Name, name, err)
+			}
+			if info.Size() == 0 {
+				t.Errorf("shard %s: empty %s", sc.Name, name)
+			}
+		}
+		if sc.Machine != fleet.MachineSmall {
+			t.Errorf("shard %s machine %q, want small", sc.Name, sc.Machine)
+		}
+	}
+}
+
+func TestGenerateFleetWindowAppend(t *testing.T) {
+	out := t.TempDir()
+	if err := run([]string{"generate", "-fleet", "2", "-days", "1", "-seed", "9", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	size := func(machine string) int64 {
+		info, err := os.Stat(filepath.Join(out, machine, "accounting.log"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return info.Size()
+	}
+	s0, s1 := size("m00"), size("m01")
+
+	// Growing one shard by a window touches only that shard's archives.
+	if err := run([]string{"generate", "-fleet", "2", "-days", "1", "-seed", "9", "-out", out,
+		"-fleet-window", "1", "-fleet-only", "m01"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := size("m00"); got != s0 {
+		t.Errorf("m00 accounting grew from %d to %d despite -fleet-only m01", s0, got)
+	}
+	if got := size("m01"); got <= s1 {
+		t.Errorf("m01 accounting did not grow: %d -> %d", s1, got)
+	}
+}
+
+func TestAnalyzeFleetConfig(t *testing.T) {
+	out := t.TempDir()
+	if err := run([]string{"generate", "-fleet", "2", "-days", "1", "-seed", "9", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+
+	text, err := runCapture(t, []string{"analyze", "-fleet-config", filepath.Join(out, "fleet.conf"), "-format", "md"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"F1", "Fleet shards", "m00", "m01", "F2", "Fleet outcome breakdown", "F3", "2 machines merged"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("fleet report missing %q", want)
+		}
+	}
+
+	// All three formats render.
+	for _, format := range []string{"ascii", "csv"} {
+		if _, err := runCapture(t, []string{"analyze", "-fleet-config", filepath.Join(out, "fleet.conf"), "-format", format}); err != nil {
+			t.Fatalf("format %s: %v", format, err)
+		}
+	}
+}
+
+func TestFleetFlagErrors(t *testing.T) {
+	out := t.TempDir()
+	if err := run([]string{"generate", "-fleet-window", "1", "-out", out}); err == nil {
+		t.Error("-fleet-window without -fleet accepted")
+	}
+	if err := run([]string{"generate", "-fleet-only", "m00", "-out", out}); err == nil {
+		t.Error("-fleet-only without -fleet accepted")
+	}
+	if err := run([]string{"generate", "-fleet", "2", "-days", "1", "-out", out, "-fleet-only", "nope"}); err == nil {
+		t.Error("-fleet-only with unknown machine accepted")
+	}
+	if err := run([]string{"analyze", "-fleet-config", "conf", "-apsys", "x"}); err == nil {
+		t.Error("analyze -fleet-config with -apsys accepted")
+	}
+	if err := run([]string{"analyze", "-fleet-config", filepath.Join(out, "missing.conf")}); err == nil {
+		t.Error("analyze with missing fleet config accepted")
+	}
+}

@@ -7,6 +7,8 @@
 //	logdiver analyze -accounting acc.log -apsys apsys.log -syslog sys.log \
 //	    [-truth truth.jsonl] [-machine bluewaters|small] [-format ascii|md|csv]
 //	    [-rules site-rules.txt] [-parallelism N] [-parse-mode lenient|strict]
+//	logdiver analyze -fleet-config fleet.conf [-format ascii|md|csv] \
+//	    [-parallelism N] [-parse-mode lenient|strict] [-tz ZONE]
 //	logdiver coalesce -syslog sys.log [-temporal 5m] [-spatial 2m] [-top 25]
 //	logdiver avail -syslog sys.log [-machine bluewaters|small] [-top 5]
 //	logdiver lint-rules [-rules site-rules.txt] [-json]
@@ -14,6 +16,8 @@
 //	    [-seed N] [-budget F] [-ops truncate,encoding,...] [-max-per-op N]
 //	logdiver generate -days 30 -out ./archive [-parallelism N] \
 //	    [-machine bluewaters|small] [-start YYYY-MM-DD] [-seed N]
+//	logdiver generate -fleet K -days D -out ./fleet [-seed N] \
+//	    [-fleet-window W] [-fleet-only NAME]
 //	logdiver state -file state.ldv | -state-dir ./state [-json]
 //	logdiver version
 //
@@ -42,6 +46,15 @@
 // seconds; -start and -seed let successive invocations produce disjoint
 // production windows, which the serving smoke tests append to a live
 // logdiverd data directory.
+//
+// analyze -fleet-config runs the offline pipeline over every shard of a
+// fleet config (one archive directory per machine), folds the per-machine
+// snapshots with the exact store merge, and prints the fleet tables (F1-F3).
+// generate -fleet K lays out a K-machine small-profile fleet under -out —
+// one archive subdirectory per machine plus a ready-to-run fleet.conf —
+// while -fleet-window W appends production window W to the existing shard
+// archives (optionally a single machine via -fleet-only), which the fleet
+// smoke test uses to advance one shard's epoch.
 //
 // state inspects and verifies a logdiverd durable-state file (the
 // <state-dir>/state.ldv a daemon warm-starts from): it validates the
@@ -127,6 +140,7 @@ func analyze(args []string) error {
 		validate = fs.Bool("validate-rules", true, "lint -rules files and reject rule sets with error-severity findings")
 		par      = fs.Int("parallelism", 0, "ingestion/attribution worker count (0 = GOMAXPROCS, 1 = sequential)")
 		mode     = fs.String("parse-mode", "lenient", "malformed-input policy: lenient (skip and account) or strict (fail fast)")
+		fleetCfg = fs.String("fleet-config", "", "fleet config file: analyze every [shard NAME] archive dir and print merged fleet tables (mutually exclusive with the per-archive flags)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -134,6 +148,12 @@ func analyze(args []string) error {
 	parseMode, err := logdiver.ParseModeFromString(*mode)
 	if err != nil {
 		return err
+	}
+	if *fleetCfg != "" {
+		if *accPath != "" || *apsPath != "" || *sysPath != "" || *truth != "" {
+			return fmt.Errorf("analyze: -fleet-config is mutually exclusive with -accounting/-apsys/-syslog/-truth")
+		}
+		return analyzeFleet(*fleetCfg, logdiver.Options{Parallelism: *par, ParseMode: parseMode}, *timezone, *format)
 	}
 	if *apsPath == "" {
 		return fmt.Errorf("analyze: -apsys is required (application runs are the unit of analysis)")
@@ -556,15 +576,24 @@ func opNames() string {
 func generate(args []string) error {
 	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
 	var (
-		days    = fs.Int("days", 30, "production days to synthesize")
-		seed    = fs.Int64("seed", 1, "random seed")
-		out     = fs.String("out", "archive", "output directory")
-		par     = fs.Int("parallelism", 0, "log-emission worker count (0 = GOMAXPROCS, 1 = sequential)")
-		machine = fs.String("machine", "bluewaters", "machine model: bluewaters or small (small rescales the workload too)")
-		start   = fs.String("start", "", "first production day (YYYY-MM-DD; default 2013-04-01)")
+		days     = fs.Int("days", 30, "production days to synthesize")
+		seed     = fs.Int64("seed", 1, "random seed")
+		out      = fs.String("out", "archive", "output directory")
+		par      = fs.Int("parallelism", 0, "log-emission worker count (0 = GOMAXPROCS, 1 = sequential)")
+		machine  = fs.String("machine", "bluewaters", "machine model: bluewaters or small (small rescales the workload too)")
+		start    = fs.String("start", "", "first production day (YYYY-MM-DD; default 2013-04-01)")
+		fleetK   = fs.Int("fleet", 0, "generate a K-machine fleet: one small-machine archive dir per shard plus a ready-to-run fleet.conf under -out")
+		fleetWin = fs.Int("fleet-window", 0, "with -fleet: append production window W to the existing shard archives instead of recreating them")
+		fleetOne = fs.String("fleet-only", "", "with -fleet: write only the named machine's data (grow one shard of an existing fleet)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *fleetK > 0 {
+		return generateFleet(*fleetK, *days, *seed, *fleetWin, *fleetOne, *out, *par)
+	}
+	if *fleetWin != 0 || *fleetOne != "" {
+		return fmt.Errorf("generate: -fleet-window and -fleet-only require -fleet K")
 	}
 	var cfg logdiver.GeneratorConfig
 	switch *machine {

@@ -8,6 +8,7 @@
 //	    [-machine bluewaters|small] [-parallelism N]
 //	    [-parse-mode lenient|strict] [-rules site-rules.txt] [-tz UTC]
 //	    [-request-timeout 10s] [-state-dir ./state] [-state-interval 1m]
+//	logdiverd -fleet-config fleet.conf [-fleet-sync-concurrency 4] [...]
 //	logdiverd -version
 //
 // The daemon polls -data-dir every -poll-interval for growth of
@@ -30,8 +31,22 @@
 // exposes it as logdiver_warm_restart. Inspect a state file offline with
 // `logdiver state`.
 //
+// With -fleet-config the daemon scales from one machine to a fleet: the
+// config file declares one [shard NAME] section per machine (archive dir,
+// machine profile, optional per-shard state dir and zone), and the daemon
+// runs one incremental pipeline per shard, folding every sync round into a
+// single merged fleet snapshot carrying the composite per-shard epoch
+// vector. /v1/fleet/{outcomes,scaling,mtti,categories} serve the merged
+// view (?machine=NAME narrows to one shard), /v1/health grows a per-shard
+// section and /metrics per-shard gauges. A shard whose archives fail keeps
+// its last good snapshot in the merged view, marked partial, so one
+// machine's outage never takes down the fleet's query plane. -fleet-config
+// is mutually exclusive with -data-dir and -state-dir (per-shard state dirs
+// come from the config file).
+//
 // Endpoints: /v1/health, /v1/outcomes, /v1/scaling?class=xe|xk, /v1/mtti,
-// /v1/categories, /v1/runs/{apid}, and Prometheus text metrics at /metrics.
+// /v1/categories, /v1/runs/{apid}, /v1/fleet/* (fleet mode), and Prometheus
+// text metrics at /metrics.
 //
 // SIGINT/SIGTERM stop the poll loop, persist the state (when -state-dir is
 // set) and drain in-flight requests before exit. Logs are structured JSON
@@ -54,6 +69,7 @@ import (
 	"time"
 
 	"logdiver"
+	"logdiver/internal/fleet"
 	"logdiver/internal/persist"
 	"logdiver/internal/rulecheck"
 	"logdiver/internal/serve"
@@ -76,7 +92,9 @@ func run(args []string, onListen func(addr string)) error {
 	fs := flag.NewFlagSet("logdiverd", flag.ContinueOnError)
 	var (
 		listen      = fs.String("listen", ":8080", "HTTP listen address")
-		dataDir     = fs.String("data-dir", "", "directory with accounting.log, apsys.log, syslog.log (required)")
+		dataDir     = fs.String("data-dir", "", "directory with accounting.log, apsys.log, syslog.log (single-machine mode)")
+		fleetConf   = fs.String("fleet-config", "", "fleet config file with one [shard NAME] section per machine (fleet mode; mutually exclusive with -data-dir)")
+		fleetConc   = fs.Int("fleet-sync-concurrency", 4, "how many shards ingest concurrently during a fleet sync round")
 		poll        = fs.Duration("poll-interval", 2*time.Second, "archive poll interval")
 		machineName = fs.String("machine", "bluewaters", "machine model: bluewaters or small")
 		par         = fs.Int("parallelism", 0, "ingestion/attribution worker count (0 = GOMAXPROCS)")
@@ -102,8 +120,14 @@ func run(args []string, onListen func(addr string)) error {
 		fmt.Println(version.Get())
 		return nil
 	}
-	if *dataDir == "" {
-		return fmt.Errorf("-data-dir is required")
+	if *dataDir == "" && *fleetConf == "" {
+		return fmt.Errorf("one of -data-dir or -fleet-config is required")
+	}
+	if *dataDir != "" && *fleetConf != "" {
+		return fmt.Errorf("-data-dir and -fleet-config are mutually exclusive")
+	}
+	if *fleetConf != "" && *stateDir != "" {
+		return fmt.Errorf("-state-dir does not apply in fleet mode: set state-dir per shard in %s", *fleetConf)
 	}
 	if *poll <= 0 {
 		return fmt.Errorf("-poll-interval must be positive")
@@ -111,23 +135,6 @@ func run(args []string, onListen func(addr string)) error {
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 
-	var mc logdiver.MachineConfig
-	switch *machineName {
-	case "bluewaters":
-		mc = logdiver.BlueWaters()
-	case "small":
-		mc = logdiver.SmallMachine()
-	default:
-		return fmt.Errorf("unknown machine %q", *machineName)
-	}
-	top, err := logdiver.NewTopology(mc)
-	if err != nil {
-		return err
-	}
-	loc, err := time.LoadLocation(*timezone)
-	if err != nil {
-		return fmt.Errorf("timezone: %w", err)
-	}
 	parseMode, err := logdiver.ParseModeFromString(*mode)
 	if err != nil {
 		return err
@@ -158,78 +165,125 @@ func run(args []string, onListen func(addr string)) error {
 		}
 	}
 
-	// Durable state: try to warm-start from the state dir. An unusable
-	// state file degrades to a cold rebuild in lenient mode (with the
-	// reason logged and reported) and refuses to start in strict mode.
-	var (
-		statePath string
-		resume    *store.SyncerState
-		restore   = &serve.RestoreInfo{Mode: "cold", Detail: "persistence disabled (no -state-dir)"}
-		fp        persist.Fingerprint
-	)
-	if *stateDir != "" {
-		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
-			return fmt.Errorf("state dir: %w", err)
-		}
-		statePath = filepath.Join(*stateDir, persist.StateFile)
-		fp = persist.Fingerprint{
-			Machine:   *machineName,
-			Nodes:     top.NumNodes(),
-			ParseMode: parseMode.String(),
-			Rules:     rulesID,
-			TimeZone:  *timezone,
-		}
-		resume, restore, err = loadState(logger, statePath, fp, parseMode)
-		if err != nil {
-			return err
-		}
-	}
-
-	st := store.New()
-	if restore.Epoch > 0 {
-		// Continue the persisted epoch sequence even on a cold fallback
-		// whose file loaded: clients rely on epochs never going backward
-		// across a restart of the same state dir.
-		if err := st.Restore(restore.Epoch); err != nil {
-			return err
-		}
-	}
-	syCfg := store.SyncerConfig{
-		Tailer:   store.NewTailer(*dataDir),
-		Store:    st,
-		Topology: top,
-		Location: loc,
-		Options:  opts,
-		Resume:   resume,
-	}
-	sy, err := store.NewSyncer(syCfg)
-	if err != nil && resume != nil {
-		// The file was structurally sound but its state failed restore
-		// validation: same policy as a corrupt file.
-		if parseMode == logdiver.ParseStrict {
-			return fmt.Errorf("state restore: %s: %w (strict mode refuses to guess: delete the state file to rebuild cold, or restart with -parse-mode lenient)", statePath, err)
-		}
-		logger.Warn("state restore failed; rebuilding cold from the archives",
-			"path", statePath, "reason", err.Error())
-		restore = &serve.RestoreInfo{Mode: "cold-fallback", Detail: err.Error(), Epoch: restore.Epoch}
-		syCfg.Resume = nil
-		syCfg.Tailer = store.NewTailer(*dataDir)
-		sy, err = store.NewSyncer(syCfg)
-	}
-	if err != nil {
-		return err
-	}
-	srv, err := serve.New(serve.Config{
-		Store:          st,
+	srvCfg := serve.Config{
 		Version:        version.Get(),
 		RequestTimeout: *reqTimeout,
-		Restore:        restore,
 		DisableCache:   !*cache,
 		RateLimit:      *rateLimit,
 		RateBurst:      *rateBurst,
 		MaxInFlight:    *maxInflight,
 		RetryAfter:     *retryAfter,
-	})
+	}
+
+	var (
+		// Single-machine mode runtime.
+		st        *store.Store
+		sy        *store.Syncer
+		statePath string
+		restore   = &serve.RestoreInfo{Mode: "cold", Detail: "persistence disabled (no -state-dir)"}
+		fp        persist.Fingerprint
+		// Fleet mode runtime.
+		mgr *fleet.Manager
+	)
+	if *fleetConf != "" {
+		fcfg, err := fleet.LoadConfig(*fleetConf)
+		if err != nil {
+			return err
+		}
+		mgr, err = fleet.NewManager(fleet.ManagerConfig{
+			Config:          fcfg,
+			Options:         opts,
+			TimeZone:        *timezone,
+			RulesID:         rulesID,
+			SyncConcurrency: *fleetConc,
+			StateInterval:   *stateEvery,
+			Logf: func(format string, args ...any) {
+				logger.Warn(fmt.Sprintf(format, args...))
+			},
+		})
+		if err != nil {
+			return err
+		}
+		srvCfg.Fleet = mgr
+	} else {
+		var mc logdiver.MachineConfig
+		switch *machineName {
+		case "bluewaters":
+			mc = logdiver.BlueWaters()
+		case "small":
+			mc = logdiver.SmallMachine()
+		default:
+			return fmt.Errorf("unknown machine %q", *machineName)
+		}
+		top, err := logdiver.NewTopology(mc)
+		if err != nil {
+			return err
+		}
+		loc, err := time.LoadLocation(*timezone)
+		if err != nil {
+			return fmt.Errorf("timezone: %w", err)
+		}
+
+		// Durable state: try to warm-start from the state dir. An unusable
+		// state file degrades to a cold rebuild in lenient mode (with the
+		// reason logged and reported) and refuses to start in strict mode.
+		var resume *store.SyncerState
+		if *stateDir != "" {
+			if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+				return fmt.Errorf("state dir: %w", err)
+			}
+			statePath = filepath.Join(*stateDir, persist.StateFile)
+			fp = persist.Fingerprint{
+				Machine:   *machineName,
+				Nodes:     top.NumNodes(),
+				ParseMode: parseMode.String(),
+				Rules:     rulesID,
+				TimeZone:  *timezone,
+			}
+			resume, restore, err = loadState(logger, statePath, fp, parseMode)
+			if err != nil {
+				return err
+			}
+		}
+
+		st = store.New()
+		if restore.Epoch > 0 {
+			// Continue the persisted epoch sequence even on a cold fallback
+			// whose file loaded: clients rely on epochs never going backward
+			// across a restart of the same state dir.
+			if err := st.Restore(restore.Epoch); err != nil {
+				return err
+			}
+		}
+		syCfg := store.SyncerConfig{
+			Tailer:   store.NewTailer(*dataDir),
+			Store:    st,
+			Topology: top,
+			Location: loc,
+			Options:  opts,
+			Resume:   resume,
+		}
+		sy, err = store.NewSyncer(syCfg)
+		if err != nil && resume != nil {
+			// The file was structurally sound but its state failed restore
+			// validation: same policy as a corrupt file.
+			if parseMode == logdiver.ParseStrict {
+				return fmt.Errorf("state restore: %s: %w (strict mode refuses to guess: delete the state file to rebuild cold, or restart with -parse-mode lenient)", statePath, err)
+			}
+			logger.Warn("state restore failed; rebuilding cold from the archives",
+				"path", statePath, "reason", err.Error())
+			restore = &serve.RestoreInfo{Mode: "cold-fallback", Detail: err.Error(), Epoch: restore.Epoch}
+			syCfg.Resume = nil
+			syCfg.Tailer = store.NewTailer(*dataDir)
+			sy, err = store.NewSyncer(syCfg)
+		}
+		if err != nil {
+			return err
+		}
+		srvCfg.Store = st
+		srvCfg.Restore = restore
+	}
+	srv, err := serve.New(srvCfg)
 	if err != nil {
 		return err
 	}
@@ -244,19 +298,31 @@ func run(args []string, onListen func(addr string)) error {
 	if onListen != nil {
 		onListen(l.Addr().String())
 	}
-	logger.Info("logdiverd starting",
-		"version", version.Get().String(),
-		"listen", l.Addr().String(),
-		"data_dir", *dataDir,
-		"machine", *machineName,
-		"poll_interval", poll.String(),
-		"parse_mode", parseMode.String(),
-		"restore", restore.Mode,
-		"restore_epoch", restore.Epoch,
-	)
+	if mgr != nil {
+		logger.Info("logdiverd starting",
+			"version", version.Get().String(),
+			"listen", l.Addr().String(),
+			"fleet_config", *fleetConf,
+			"shards", mgr.Machines(),
+			"poll_interval", poll.String(),
+			"parse_mode", parseMode.String(),
+		)
+	} else {
+		logger.Info("logdiverd starting",
+			"version", version.Get().String(),
+			"listen", l.Addr().String(),
+			"data_dir", *dataDir,
+			"machine", *machineName,
+			"poll_interval", poll.String(),
+			"parse_mode", parseMode.String(),
+			"restore", restore.Mode,
+			"restore_epoch", restore.Epoch,
+		)
+	}
 
-	// Ingestion loop: one goroutine owns the Syncer; the first round runs
-	// immediately so /v1/health turns ready without waiting a full tick.
+	// Ingestion loop: one goroutine owns the Syncer (or the fleet manager);
+	// the first round runs immediately so /v1/health turns ready without
+	// waiting a full tick.
 	syncDone := make(chan error, 1)
 	go func() {
 		defer close(syncDone)
@@ -264,34 +330,57 @@ func run(args []string, onListen func(addr string)) error {
 		defer tick.Stop()
 		var lastPersist time.Time
 		for {
-			installed, err := sy.Sync()
-			if err != nil {
-				// A strict-mode parse failure poisons the pipeline: there
-				// is no way to serve correct numbers past corrupt input,
-				// so surface it and stop the daemon. The poisoned state is
-				// deliberately NOT persisted.
-				syncDone <- fmt.Errorf("sync: %w", err)
-				return
-			}
-			if installed {
-				snap := st.Current()
-				logger.Info("snapshot installed",
-					"epoch", snap.Epoch,
-					"runs", len(snap.Result.Runs),
-					"events", len(snap.Result.Events),
-					"reattributed", snap.Ingest.Reattributed,
-					"build_ms", snap.Ingest.BuildDuration.Milliseconds(),
-				)
-				if statePath != "" && time.Since(lastPersist) >= *stateEvery {
-					persistState(logger, sy, st, fp, statePath)
-					lastPersist = time.Now()
+			if mgr != nil {
+				// Fleet rounds never stop the daemon: a shard whose sync
+				// fails is marked failed and the merged view turns partial;
+				// the rest of the fleet keeps serving.
+				round := mgr.SyncRound(ctx)
+				for _, shr := range round.Shards {
+					if shr.Err != nil {
+						logger.Warn("shard sync failed",
+							"shard", shr.Name, "error", shr.Err.Error())
+					}
+				}
+				if round.Installed {
+					snap := mgr.FleetStore().Current()
+					logger.Info("fleet snapshot installed",
+						"fleet_epoch", round.FleetEpoch,
+						"runs", len(snap.Result.Runs),
+						"partial", snap.Partial,
+					)
+				}
+			} else {
+				installed, err := sy.Sync()
+				if err != nil {
+					// A strict-mode parse failure poisons the pipeline: there
+					// is no way to serve correct numbers past corrupt input,
+					// so surface it and stop the daemon. The poisoned state is
+					// deliberately NOT persisted.
+					syncDone <- fmt.Errorf("sync: %w", err)
+					return
+				}
+				if installed {
+					snap := st.Current()
+					logger.Info("snapshot installed",
+						"epoch", snap.Epoch,
+						"runs", len(snap.Result.Runs),
+						"events", len(snap.Result.Events),
+						"reattributed", snap.Ingest.Reattributed,
+						"build_ms", snap.Ingest.BuildDuration.Milliseconds(),
+					)
+					if statePath != "" && time.Since(lastPersist) >= *stateEvery {
+						persistState(logger, sy, st, fp, statePath)
+						lastPersist = time.Now()
+					}
 				}
 			}
 			select {
 			case <-ctx.Done():
 				// Final persist on shutdown, interval notwithstanding: the
 				// state on disk should match the last snapshot served.
-				if statePath != "" {
+				if mgr != nil {
+					mgr.PersistAll()
+				} else if statePath != "" {
 					persistState(logger, sy, st, fp, statePath)
 				}
 				return

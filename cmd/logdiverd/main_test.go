@@ -54,6 +54,17 @@ type health struct {
 		Detail string `json:"detail"`
 		Epoch  uint64 `json:"epoch"`
 	} `json:"restore"`
+	Fleet *struct {
+		FleetEpoch uint64 `json:"fleet_epoch"`
+		Partial    bool   `json:"partial"`
+		Shards     []struct {
+			Name   string `json:"name"`
+			Status string `json:"status"`
+			Epoch  uint64 `json:"epoch"`
+			Runs   int    `json:"runs"`
+			Error  string `json:"error"`
+		} `json:"shards"`
+	} `json:"fleet"`
 }
 
 func getHealth(base string) (health, error) {
@@ -332,6 +343,15 @@ func TestDaemonFlagValidation(t *testing.T) {
 	if err := run([]string{"-listen", "127.0.0.1:0"}, nil); err == nil {
 		t.Error("missing -data-dir accepted")
 	}
+	if err := run([]string{"-data-dir", t.TempDir(), "-fleet-config", "fleet.conf"}, nil); err == nil {
+		t.Error("-data-dir with -fleet-config accepted")
+	}
+	if err := run([]string{"-fleet-config", "fleet.conf", "-state-dir", t.TempDir()}, nil); err == nil {
+		t.Error("-state-dir with -fleet-config accepted")
+	}
+	if err := run([]string{"-fleet-config", filepath.Join(t.TempDir(), "missing.conf")}, nil); err == nil {
+		t.Error("missing fleet config file accepted")
+	}
 	if err := run([]string{"-data-dir", t.TempDir(), "-poll-interval", "-1s"}, nil); err == nil {
 		t.Error("negative poll interval accepted")
 	}
@@ -439,5 +459,143 @@ func TestDaemonCacheDisabled(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotModified {
 		t.Fatalf("uncached conditional: status %d, want 304", resp.StatusCode)
+	}
+}
+
+// TestDaemonFleetEndToEnd boots the daemon in fleet mode over two shard
+// archive dirs: readiness with a full shard section, merged and per-machine
+// fleet endpoints, a single-shard append advancing only that shard's epoch,
+// and graceful shutdown persisting per-shard state.
+func TestDaemonFleetEndToEnd(t *testing.T) {
+	machines := gen.Fleet(2, 1, 23)
+	for i := range machines {
+		machines[i].Config.Workload.JobsPerDay = 60
+	}
+	root := t.TempDir()
+	var conf strings.Builder
+	for _, m := range machines {
+		ds, err := gen.Generate(m.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.WriteDir(filepath.Join(root, m.Name)); err != nil {
+			t.Fatal(err)
+		}
+		// Relative paths prove LoadConfig resolution against the file dir.
+		fmt.Fprintf(&conf, "[shard %s]\narchive-dir = %s\nmachine = small\nstate-dir = %s\n",
+			m.Name, m.Name, filepath.Join("state", m.Name))
+	}
+	confPath := filepath.Join(root, "fleet.conf")
+	if err := os.WriteFile(confPath, []byte(conf.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	addrCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-fleet-config", confPath,
+			"-poll-interval", "100ms",
+			"-state-interval", "10ms",
+		}, func(addr string) { addrCh <- addr })
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case err := <-errCh:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never bound its listener")
+	}
+
+	h := waitFor(t, base, "full fleet", func(h health) bool {
+		if h.Status != "ok" || h.Fleet == nil || h.Fleet.Partial {
+			return false
+		}
+		for _, sh := range h.Fleet.Shards {
+			if sh.Status != "ok" {
+				return false
+			}
+		}
+		return len(h.Fleet.Shards) == 2
+	})
+	if h.Fleet.FleetEpoch == 0 {
+		t.Fatal("fleet epoch still 0 after full sync")
+	}
+
+	// Merged and per-machine fleet endpoints answer 200 JSON.
+	paths := []string{
+		"/v1/fleet/outcomes", "/v1/fleet/scaling?class=xe", "/v1/fleet/scaling?class=xk",
+		"/v1/fleet/mtti", "/v1/fleet/categories",
+		"/v1/fleet/outcomes?machine=" + machines[0].Name,
+	}
+	for _, path := range paths {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d: %s", path, resp.StatusCode, body)
+		}
+		if !json.Valid(body) {
+			t.Errorf("%s: invalid JSON: %q", path, body)
+		}
+	}
+
+	// Appending a window to ONE shard advances only its epoch; the fleet
+	// epoch advances because the vector changed.
+	var before [2]uint64
+	for i, sh := range h.Fleet.Shards {
+		before[i] = sh.Epoch
+	}
+	grown := machines[1]
+	ds, err := gen.Generate(grown.Window(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendTo := func(name string, write func(io.Writer) error) {
+		f, err := os.OpenFile(filepath.Join(root, grown.Name, name), os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := write(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	appendTo("accounting.log", ds.WriteAccounting)
+	appendTo("apsys.log", ds.WriteApsys)
+	appendTo("syslog.log", ds.WriteErrorLog)
+	h2 := waitFor(t, base, "single-shard epoch advance", func(h health) bool {
+		return h.Fleet != nil && h.Fleet.Shards[1].Epoch > before[1]
+	})
+	if h2.Fleet.Shards[0].Epoch != before[0] {
+		t.Errorf("untouched shard epoch moved: %d -> %d", before[0], h2.Fleet.Shards[0].Epoch)
+	}
+	if h2.Fleet.FleetEpoch <= h.Fleet.FleetEpoch {
+		t.Errorf("fleet epoch did not advance: %d -> %d", h.Fleet.FleetEpoch, h2.Fleet.FleetEpoch)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("daemon exited with error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not stop on SIGTERM")
+	}
+
+	// Shutdown persisted per-shard state into the config-relative dirs.
+	for _, m := range machines {
+		if _, err := os.Stat(filepath.Join(root, "state", m.Name, "state.ldv")); err != nil {
+			t.Errorf("shard %s state not persisted: %v", m.Name, err)
+		}
 	}
 }

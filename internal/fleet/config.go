@@ -1,0 +1,201 @@
+// Package fleet scales the online subsystem from one machine to a fleet:
+// one incremental pipeline + tailer/syncer per configured machine shard
+// (the informer-per-target idiom), each with its own epoch sequence and
+// persisted state, folded after every sync round into a single merged
+// snapshot (store.Merge) carrying the composite fleet epoch vector. The
+// manager degrades gracefully — a failed shard keeps its last good
+// snapshot and the merged view is marked partial — so one machine's
+// outage never takes down the fleet's query plane.
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Shard machine profiles understood by the config parser, mirroring the
+// daemon's -machine flag.
+const (
+	MachineBlueWaters = "bluewaters"
+	MachineSmall      = "small"
+)
+
+// ShardConfig declares one machine shard.
+type ShardConfig struct {
+	// Name is the shard's fleet-unique machine name (the ?machine= key
+	// and the Prometheus label value).
+	Name string
+	// ArchiveDir is the directory the shard's tailer follows.
+	ArchiveDir string
+	// Machine selects the topology profile: MachineBlueWaters (default)
+	// or MachineSmall.
+	Machine string
+	// StateDir, when set, enables crash-safe persisted state for this
+	// shard (one state.ldv per shard, reusing internal/persist).
+	StateDir string
+	// TimeZone interprets the shard's accounting timestamps; empty means
+	// the manager default.
+	TimeZone string
+}
+
+// Config is a parsed fleet configuration: the declarative list of shards a
+// manager runs.
+type Config struct {
+	Shards []ShardConfig
+}
+
+// shardNameMax bounds shard names; they appear in URLs, metrics labels and
+// file paths.
+const shardNameMax = 64
+
+// validShardName reports whether the name is safe to use as a query
+// parameter, a metrics label value and a path component.
+func validShardName(name string) bool {
+	if name == "" || len(name) > shardNameMax {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '.' || r == '_' || r == '-':
+		default:
+			return false
+		}
+	}
+	return name != "." && name != ".."
+}
+
+// ParseConfig parses the declarative fleet config format:
+//
+//	# comment (also ';')
+//	[shard m00]
+//	archive-dir = /srv/logs/m00
+//	machine = small
+//	state-dir = /var/lib/logdiver/m00
+//	tz = America/Chicago
+//
+// One [shard NAME] section per machine; archive-dir is required, the rest
+// optional. Relative paths are left as-is (LoadConfig resolves them against
+// the config file's directory). Shards are returned sorted by name.
+func ParseConfig(text string) (*Config, error) {
+	cfg := &Config{}
+	var cur *ShardConfig
+	seenKeys := map[string]bool{}
+	for no, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, ";") {
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("fleet: line %d: unterminated section header %q", no+1, line)
+			}
+			section := strings.TrimSpace(line[1 : len(line)-1])
+			name, ok := strings.CutPrefix(section, "shard ")
+			if !ok {
+				return nil, fmt.Errorf("fleet: line %d: unknown section %q (want [shard NAME])", no+1, section)
+			}
+			name = strings.TrimSpace(name)
+			if !validShardName(name) {
+				return nil, fmt.Errorf("fleet: line %d: invalid shard name %q (letters, digits, dot, underscore, dash; max %d chars)", no+1, name, shardNameMax)
+			}
+			cfg.Shards = append(cfg.Shards, ShardConfig{Name: name, Machine: MachineBlueWaters})
+			cur = &cfg.Shards[len(cfg.Shards)-1]
+			seenKeys = map[string]bool{}
+			continue
+		}
+		key, value, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("fleet: line %d: expected key = value, got %q", no+1, line)
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("fleet: line %d: key outside a [shard NAME] section", no+1)
+		}
+		key = strings.TrimSpace(key)
+		value = strings.TrimSpace(value)
+		if seenKeys[key] {
+			return nil, fmt.Errorf("fleet: line %d: duplicate key %q in shard %q", no+1, key, cur.Name)
+		}
+		seenKeys[key] = true
+		switch key {
+		case "archive-dir":
+			cur.ArchiveDir = value
+		case "machine":
+			if value != MachineBlueWaters && value != MachineSmall {
+				return nil, fmt.Errorf("fleet: line %d: unknown machine profile %q (want %s or %s)", no+1, value, MachineBlueWaters, MachineSmall)
+			}
+			cur.Machine = value
+		case "state-dir":
+			cur.StateDir = value
+		case "tz":
+			cur.TimeZone = value
+		default:
+			return nil, fmt.Errorf("fleet: line %d: unknown key %q", no+1, key)
+		}
+	}
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("fleet: config declares no shards")
+	}
+	names := map[string]bool{}
+	for _, sh := range cfg.Shards {
+		if names[sh.Name] {
+			return nil, fmt.Errorf("fleet: duplicate shard name %q", sh.Name)
+		}
+		names[sh.Name] = true
+		if sh.ArchiveDir == "" {
+			return nil, fmt.Errorf("fleet: shard %q: archive-dir is required", sh.Name)
+		}
+	}
+	sort.Slice(cfg.Shards, func(i, j int) bool { return cfg.Shards[i].Name < cfg.Shards[j].Name })
+	return cfg, nil
+}
+
+// LoadConfig reads and parses a fleet config file, resolving relative
+// archive-dir and state-dir paths against the file's directory so a config
+// can travel with its data.
+func LoadConfig(path string) (*Config, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	cfg, err := ParseConfig(string(b))
+	if err != nil {
+		return nil, err
+	}
+	base := filepath.Dir(path)
+	for i := range cfg.Shards {
+		sh := &cfg.Shards[i]
+		if !filepath.IsAbs(sh.ArchiveDir) {
+			sh.ArchiveDir = filepath.Join(base, sh.ArchiveDir)
+		}
+		if sh.StateDir != "" && !filepath.IsAbs(sh.StateDir) {
+			sh.StateDir = filepath.Join(base, sh.StateDir)
+		}
+	}
+	return cfg, nil
+}
+
+// String renders the config back into the format ParseConfig accepts; a
+// parse → render → parse round trip is the identity (the fuzz harness pins
+// that).
+func (c *Config) String() string {
+	var b strings.Builder
+	for i, sh := range c.Shards {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "[shard %s]\n", sh.Name)
+		fmt.Fprintf(&b, "archive-dir = %s\n", sh.ArchiveDir)
+		fmt.Fprintf(&b, "machine = %s\n", sh.Machine)
+		if sh.StateDir != "" {
+			fmt.Fprintf(&b, "state-dir = %s\n", sh.StateDir)
+		}
+		if sh.TimeZone != "" {
+			fmt.Fprintf(&b, "tz = %s\n", sh.TimeZone)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,470 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"logdiver/internal/core"
+	"logdiver/internal/machine"
+	"logdiver/internal/parse"
+	"logdiver/internal/persist"
+	"logdiver/internal/store"
+)
+
+// Restore describes one shard's boot provenance: whether it warm-started
+// from persisted state, rebuilt cold, or fell back to cold after an
+// unusable state file.
+type Restore struct {
+	Mode    string    `json:"mode"`
+	Detail  string    `json:"detail,omitempty"`
+	Epoch   uint64    `json:"epoch,omitempty"`
+	SavedAt time.Time `json:"saved_at,omitempty"`
+}
+
+// ManagerConfig wires a Manager.
+type ManagerConfig struct {
+	// Config is the parsed fleet declaration. Required.
+	Config *Config
+	// Options follows core.Analyze semantics and applies to every shard
+	// pipeline (per-shard knobs are topology, archives, state and zone —
+	// policy is fleet-wide).
+	Options core.Options
+	// TimeZone is the default accounting zone name for shards without a
+	// tz key; empty means UTC.
+	TimeZone string
+	// RulesID is the classifier-rules identity recorded in per-shard state
+	// fingerprints (persist.RulesBuiltin when empty).
+	RulesID string
+	// SyncConcurrency bounds how many shards ingest at once during a sync
+	// round; <= 0 selects 4.
+	SyncConcurrency int
+	// StateInterval is the minimum interval between periodic per-shard
+	// state persists; <= 0 selects one minute.
+	StateInterval time.Duration
+	// Now injects the clock (time.Now when nil); tests pin it.
+	Now func() time.Time
+	// Logf receives warning lines (state-restore fallbacks, persist
+	// failures). Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// ShardStatus is one shard's health as of the last published View.
+type ShardStatus struct {
+	// Name is the shard's machine name.
+	Name string
+	// Status is "ok" (serving), "failed" (last sync round errored; the
+	// last good snapshot, if any, is still merged and served) or
+	// "waiting" (no snapshot yet).
+	Status string
+	// Epoch is the shard's own install epoch (0 before the first).
+	Epoch uint64
+	// Runs counts the shard's attributed runs.
+	Runs int
+	// Snap is the shard's latest snapshot; nil before the first install.
+	Snap *store.Snapshot
+	// LastSync is the shard's last ingestion poll heartbeat.
+	LastSync time.Time
+	// LastError is the most recent sync error ("" when healthy).
+	LastError string
+	// Restore is the shard's boot provenance.
+	Restore Restore
+}
+
+// View is one consistent scatter-gather state: the merged fleet snapshot
+// plus the per-shard statuses it was folded from. Views are immutable and
+// published atomically; Merged carries the composite epoch vector, so no
+// reader can ever combine aggregates from one vector with runs from
+// another.
+type View struct {
+	// Merged is the fleet snapshot (nil until any shard has synced).
+	Merged *store.Snapshot
+	// FleetEpoch is Merged's install epoch in the fleet store.
+	FleetEpoch uint64
+	// Partial reports that at least one configured shard is failed or has
+	// no snapshot: the fleet serves, but from an incomplete machine set.
+	Partial bool
+	// Shards holds per-shard status, sorted by name.
+	Shards []ShardStatus
+}
+
+// ShardRound reports one shard's part of a sync round.
+type ShardRound struct {
+	Name      string
+	Installed bool
+	Epoch     uint64
+	Err       error
+}
+
+// Round reports one fleet sync round.
+type Round struct {
+	Shards []ShardRound
+	// Installed reports whether the round published a new merged
+	// snapshot; FleetEpoch is its epoch (or the current one when not).
+	Installed  bool
+	FleetEpoch uint64
+}
+
+// shard is one machine's runtime: its own tailer+syncer+pipeline+store,
+// epoch sequence and persisted state. Mutable fields are owned by the
+// manager's single driver goroutine; readers see them only through
+// published Views.
+type shard struct {
+	cfg       ShardConfig
+	top       *machine.Topology
+	store     *store.Store
+	sy        *store.Syncer
+	statePath string
+	fp        persist.Fingerprint
+	restore   Restore
+
+	failed      bool
+	lastErr     string
+	lastPersist time.Time
+}
+
+// Manager runs one incremental pipeline per configured shard and folds the
+// results into a single fleet view after every round. One goroutine drives
+// SyncRound/PersistAll; any number of readers call View and FleetStore.
+type Manager struct {
+	shards []*shard // sorted by name (Config sorts)
+	fleet  *store.Store
+	view   atomic.Pointer[View]
+	sem    chan struct{}
+	every  time.Duration
+	now    func() time.Time
+	logf   func(format string, args ...any)
+}
+
+// NewManager builds the per-shard runtimes, warm-restoring each shard that
+// has usable persisted state. Restore policy mirrors the single-machine
+// daemon: an unusable state file degrades that shard to a cold rebuild in
+// lenient mode and is a construction error in strict mode.
+func NewManager(cfg ManagerConfig) (*Manager, error) {
+	if cfg.Config == nil || len(cfg.Config.Shards) == 0 {
+		return nil, fmt.Errorf("fleet: no shards configured")
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	conc := cfg.SyncConcurrency
+	if conc <= 0 {
+		conc = 4
+	}
+	every := cfg.StateInterval
+	if every <= 0 {
+		every = time.Minute
+	}
+	rulesID := cfg.RulesID
+	if rulesID == "" {
+		rulesID = persist.RulesBuiltin
+	}
+	defaultTZ := cfg.TimeZone
+	if defaultTZ == "" {
+		defaultTZ = "UTC"
+	}
+
+	m := &Manager{
+		fleet: store.New(),
+		sem:   make(chan struct{}, conc),
+		every: every,
+		now:   now,
+		logf:  logf,
+	}
+	var epochSum uint64
+	for _, sc := range cfg.Config.Shards {
+		sh, err := newShard(sc, cfg.Options, rulesID, defaultTZ, now, logf)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: shard %q: %w", sc.Name, err)
+		}
+		epochSum += sh.restore.Epoch
+		m.shards = append(m.shards, sh)
+	}
+	// Seed the fleet epoch at the sum of the restored shard epochs. Each
+	// merged install advances some shard's epoch by at least one, so the
+	// fleet epoch (one per install) can never have exceeded that sum in a
+	// previous life of these state dirs — seeding here keeps fleet epochs,
+	// and therefore fleet ETags, monotonic across restarts.
+	if epochSum > 0 {
+		if err := m.fleet.Restore(epochSum); err != nil {
+			return nil, err
+		}
+	}
+	m.publish()
+	return m, nil
+}
+
+// newShard builds one shard runtime, restoring persisted state when usable.
+func newShard(sc ShardConfig, opts core.Options, rulesID, defaultTZ string, now func() time.Time, logf func(string, ...any)) (*shard, error) {
+	profile := sc.Machine
+	if profile == "" {
+		profile = MachineBlueWaters
+	}
+	var mc machine.Config
+	switch profile {
+	case MachineBlueWaters:
+		mc = machine.BlueWaters()
+	case MachineSmall:
+		mc = machine.Small()
+	default:
+		return nil, fmt.Errorf("unknown machine profile %q", profile)
+	}
+	top, err := machine.New(mc)
+	if err != nil {
+		return nil, err
+	}
+	tzName := sc.TimeZone
+	if tzName == "" {
+		tzName = defaultTZ
+	}
+	loc, err := time.LoadLocation(tzName)
+	if err != nil {
+		return nil, fmt.Errorf("timezone: %w", err)
+	}
+
+	sh := &shard{
+		cfg:     sc,
+		top:     top,
+		store:   store.New(),
+		restore: Restore{Mode: "cold", Detail: "persistence disabled (no state-dir)"},
+	}
+	var resume *store.SyncerState
+	if sc.StateDir != "" {
+		if err := os.MkdirAll(sc.StateDir, 0o755); err != nil {
+			return nil, fmt.Errorf("state dir: %w", err)
+		}
+		sh.statePath = filepath.Join(sc.StateDir, persist.StateFile)
+		sh.fp = persist.Fingerprint{
+			Machine:   profile,
+			Nodes:     top.NumNodes(),
+			ParseMode: opts.ParseMode.String(),
+			Rules:     rulesID,
+			TimeZone:  tzName,
+		}
+		resume, sh.restore, err = loadShardState(sh.statePath, sh.fp, opts, sc.Name, logf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if sh.restore.Epoch > 0 {
+		if err := sh.store.Restore(sh.restore.Epoch); err != nil {
+			return nil, err
+		}
+	}
+	syCfg := store.SyncerConfig{
+		Tailer:   store.NewTailer(sc.ArchiveDir),
+		Store:    sh.store,
+		Topology: top,
+		Location: loc,
+		Options:  opts,
+		Machine:  sc.Name,
+		Resume:   resume,
+		Now:      now,
+	}
+	sh.sy, err = store.NewSyncer(syCfg)
+	if err != nil && resume != nil {
+		// The file was structurally sound but its state failed restore
+		// validation: same policy as a corrupt file.
+		if strictMode(opts) {
+			return nil, fmt.Errorf("state restore: %s: %w (strict mode refuses to guess: delete the state file to rebuild cold)", sh.statePath, err)
+		}
+		logf("fleet: shard %s: state restore failed; rebuilding cold: %v", sc.Name, err)
+		sh.restore = Restore{Mode: "cold-fallback", Detail: err.Error(), Epoch: sh.restore.Epoch}
+		syCfg.Resume = nil
+		syCfg.Tailer = store.NewTailer(sc.ArchiveDir)
+		sh.sy, err = store.NewSyncer(syCfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return sh, nil
+}
+
+// strictMode reports whether the fleet runs under the strict parse policy.
+func strictMode(opts core.Options) bool { return opts.ParseMode == parse.Strict }
+
+// loadShardState mirrors the daemon's state-loading policy for one shard.
+func loadShardState(path string, fp persist.Fingerprint, opts core.Options, name string, logf func(string, ...any)) (*store.SyncerState, Restore, error) {
+	ld, err := persist.Load(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, Restore{Mode: "cold", Detail: "no state file yet"}, nil
+	}
+	reject := func(reason error) (*store.SyncerState, Restore, error) {
+		if strictMode(opts) {
+			return nil, Restore{}, fmt.Errorf("state restore: %w (strict mode refuses to guess: delete the state file to rebuild cold)", reason)
+		}
+		logf("fleet: shard %s: state restore failed; rebuilding cold: %v", name, reason)
+		info := Restore{Mode: "cold-fallback", Detail: reason.Error()}
+		if ld != nil {
+			info.Epoch = ld.Epoch
+		}
+		return nil, info, nil
+	}
+	if err != nil {
+		return reject(err)
+	}
+	if diff := ld.Fingerprint.Diff(fp); diff != "" {
+		return reject(fmt.Errorf("%s: configuration changed since the state was written: %s", path, diff))
+	}
+	return ld.Syncer, Restore{Mode: "warm", Epoch: ld.Epoch, SavedAt: ld.SavedAt}, nil
+}
+
+// FleetStore returns the store the merged fleet snapshots are installed
+// into; the serving layer reads it like any single-machine store.
+func (m *Manager) FleetStore() *store.Store { return m.fleet }
+
+// View returns the latest published fleet view.
+func (m *Manager) View() *View { return m.view.Load() }
+
+// Machines returns the configured shard names in order.
+func (m *Manager) Machines() []string {
+	names := make([]string, len(m.shards))
+	for i, sh := range m.shards {
+		names[i] = sh.cfg.Name
+	}
+	return names
+}
+
+// SyncRound drives one ingestion round on every shard (bounded
+// concurrency), persists shards on their interval, folds the results and
+// publishes a new View. One goroutine must own the SyncRound/PersistAll
+// sequence; a shard whose round fails is marked failed and keeps serving
+// its last good snapshot until a later round succeeds.
+func (m *Manager) SyncRound(ctx context.Context) Round {
+	var wg sync.WaitGroup
+	rounds := make([]ShardRound, len(m.shards))
+	for i, sh := range m.shards {
+		if ctx.Err() != nil {
+			rounds[i] = ShardRound{Name: sh.cfg.Name, Err: ctx.Err()}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			m.sem <- struct{}{}
+			defer func() { <-m.sem }()
+			installed, err := sh.sy.Sync()
+			rounds[i] = ShardRound{Name: sh.cfg.Name, Installed: installed, Epoch: sh.store.Epoch(), Err: err}
+		}(i, sh)
+	}
+	wg.Wait()
+	for i, sh := range m.shards {
+		if err := rounds[i].Err; err != nil {
+			sh.failed = true
+			sh.lastErr = err.Error()
+			continue
+		}
+		sh.failed = false
+		sh.lastErr = ""
+		if rounds[i].Installed {
+			m.persistShard(sh, false)
+		}
+	}
+	installed := m.publish()
+	m.fleet.MarkSync(m.now())
+	return Round{Shards: rounds, Installed: installed, FleetEpoch: m.fleet.Epoch()}
+}
+
+// publish folds the shards' current snapshots into a merged snapshot
+// (installing it under a new fleet epoch only when the epoch vector or the
+// partial flag actually changed) and publishes the new View. It reports
+// whether a new merged snapshot was installed.
+func (m *Manager) publish() bool {
+	prev := m.view.Load()
+	merged := store.Zero()
+	statuses := make([]ShardStatus, len(m.shards))
+	partial := false
+	for i, sh := range m.shards {
+		snap := sh.store.Current()
+		st := ShardStatus{
+			Name:      sh.cfg.Name,
+			Status:    "ok",
+			Snap:      snap,
+			LastError: sh.lastErr,
+			Restore:   sh.restore,
+		}
+		if t, ok := sh.store.LastSync(); ok {
+			st.LastSync = t
+		}
+		if snap != nil {
+			st.Epoch = snap.Epoch
+			st.Runs = snap.TotalRuns()
+			merged = store.Merge(merged, snap)
+		} else {
+			st.Status = "waiting"
+			partial = true
+		}
+		if sh.failed {
+			st.Status = "failed"
+			partial = true
+		}
+		statuses[i] = st
+	}
+
+	v := &View{Partial: partial, Shards: statuses}
+	installed := false
+	if len(merged.EpochVector()) > 0 {
+		merged.Partial = partial
+		if prev == nil || prev.Merged == nil ||
+			!slices.Equal(prev.Merged.Shards, merged.Shards) ||
+			prev.Merged.Partial != partial {
+			m.fleet.Install(merged)
+			installed = true
+			v.Merged = merged
+		} else {
+			v.Merged = prev.Merged
+		}
+	}
+	v.FleetEpoch = m.fleet.Epoch()
+	m.view.Store(v)
+	return installed
+}
+
+// persistShard writes one shard's state crash-safely, rate-limited by the
+// state interval unless forced. Failures are logged, never fatal.
+func (m *Manager) persistShard(sh *shard, force bool) {
+	if sh.statePath == "" {
+		return
+	}
+	if !force && m.now().Sub(sh.lastPersist) < m.every {
+		return
+	}
+	sst, err := sh.sy.ExportState()
+	if err == nil {
+		err = persist.Save(sh.statePath, &persist.State{
+			SavedAt:     m.now(),
+			Epoch:       sh.store.Epoch(),
+			Fingerprint: sh.fp,
+			Syncer:      sst,
+		})
+	}
+	if err != nil {
+		m.logf("fleet: shard %s: state persist failed: %v", sh.cfg.Name, err)
+		return
+	}
+	sh.lastPersist = m.now()
+}
+
+// PersistAll force-persists every shard that has a state path and is not
+// failed (a poisoned pipeline's state is deliberately not persisted). The
+// daemon calls it on shutdown.
+func (m *Manager) PersistAll() {
+	for _, sh := range m.shards {
+		if sh.failed {
+			continue
+		}
+		m.persistShard(sh, true)
+	}
+}

@@ -203,6 +203,14 @@ type Config struct {
 	// 1 forces sequential emission. Output bytes are identical either way:
 	// all randomness is drawn on the emitting goroutine before fan-out.
 	Parallelism int
+	// ApIDBase offsets every generated aprun id: the first run gets
+	// ApIDBase+1. Fleet fixtures give each machine (and each append
+	// window) a disjoint base so run identifiers stay unique fleet-wide.
+	ApIDBase uint64
+	// JobIDBase likewise offsets the batch job id sequence (job ids render
+	// as 1000000+JobIDBase+n). Zero keeps the historical single-machine
+	// numbering.
+	JobIDBase int
 }
 
 // Default returns the full-span Blue Waters-shaped configuration: 518

@@ -1,0 +1,106 @@
+package gen
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Fleet fixtures: the multi-machine analogue of Small. A fleet is K small
+// machines with distinct names, overlapping production windows and disjoint
+// run/job identifier ranges, so per-machine analyses can be merged into one
+// fleet view without identifier collisions. The merge oracle tests and the
+// CI fleet-smoke job both build their shards from these fixtures.
+
+const (
+	// fleetApIDStride separates the aprun-id ranges of fleet machines.
+	// Each machine owns a 2^24 apid block, subdivided per append window.
+	fleetApIDStride = 1 << 24
+	// fleetWindowApIDStride separates the apid ranges of successive append
+	// windows within one machine's block.
+	fleetWindowApIDStride = 1 << 20
+	// fleetJobIDStride and fleetWindowJobIDStride do the same for batch
+	// job ids (rendered as 1000000+base+n).
+	fleetJobIDStride       = 1 << 20
+	fleetWindowJobIDStride = 1 << 16
+	// fleetStagger is the start-time offset between consecutive machines.
+	// It is a fraction of a day, so every machine's window overlaps every
+	// other's: the fleet is a concurrent field study, not a relay.
+	fleetStagger = 6 * time.Hour
+)
+
+// FleetMachine is one machine of a synthesized fleet: a name (stable across
+// windows, used as the shard name in fleet configs) and the generator
+// configuration of its first production window.
+type FleetMachine struct {
+	Name   string
+	Config Config
+}
+
+// Fleet returns K small-machine fixtures named m00, m01, ... with distinct
+// seeds, staggered-but-overlapping start times and disjoint apid/job-id
+// ranges. days is the span of each machine's base window; seed drives all
+// randomness (machine i derives its own stream from seed+i).
+func Fleet(k, days int, seed int64) []FleetMachine {
+	machines := make([]FleetMachine, 0, k)
+	for i := 0; i < k; i++ {
+		cfg := Small(days)
+		cfg.Seed = seed + int64(i)*1009
+		cfg.Start = cfg.Start.Add(time.Duration(i) * fleetStagger)
+		cfg.ApIDBase = uint64(i+1) * fleetApIDStride
+		cfg.JobIDBase = (i + 1) * fleetJobIDStride
+		machines = append(machines, FleetMachine{
+			Name:   fmt.Sprintf("m%02d", i),
+			Config: cfg,
+		})
+	}
+	return machines
+}
+
+// Window returns the configuration of append window w for the machine.
+// Window 0 is the base configuration; window w starts where window w-1
+// ended and draws from a disjoint apid/job-id sub-range, so its archives
+// can be appended to the base files and re-analyzed incrementally.
+func (m FleetMachine) Window(w int) Config {
+	cfg := m.Config
+	cfg.Seed += int64(w) * 7919
+	cfg.Start = cfg.Start.Add(time.Duration(w*cfg.Days) * 24 * time.Hour)
+	cfg.ApIDBase += uint64(w) * fleetWindowApIDStride
+	cfg.JobIDBase += w * fleetWindowJobIDStride
+	return cfg
+}
+
+// WriteDir writes the dataset's four conventional files (accounting.log,
+// apsys.log, syslog.log, truth.jsonl) into dir, creating the directory if
+// needed. The file names match what the store Tailer and the daemon expect
+// of an archive directory.
+func (d *Dataset) WriteDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("gen: %w", err)
+	}
+	write := func(name string, emit func(w *os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("gen: %w", err)
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return fmt.Errorf("gen: write %s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("gen: close %s: %w", name, err)
+		}
+		return nil
+	}
+	if err := write("accounting.log", func(w *os.File) error { return d.WriteAccounting(w) }); err != nil {
+		return err
+	}
+	if err := write("apsys.log", func(w *os.File) error { return d.WriteApsys(w) }); err != nil {
+		return err
+	}
+	if err := write("syslog.log", func(w *os.File) error { return d.WriteErrorLog(w) }); err != nil {
+		return err
+	}
+	return write("truth.jsonl", func(w *os.File) error { return d.WriteTruth(w) })
+}

@@ -113,14 +113,16 @@ func Generate(cfg Config) (*Dataset, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	s := &sim{
-		cfg:   cfg,
-		top:   top,
-		rng:   rng,
-		bg:    generateFaults(cfg, top, rng),
-		xe:    newAllocator(top.XENodes()),
-		xk:    newAllocator(top.XKNodes()),
-		truth: make(map[uint64]Truth),
-		end:   cfg.Start.Add(time.Duration(cfg.Days) * 24 * time.Hour),
+		cfg:       cfg,
+		top:       top,
+		rng:       rng,
+		bg:        generateFaults(cfg, top, rng),
+		xe:        newAllocator(top.XENodes()),
+		xk:        newAllocator(top.XKNodes()),
+		truth:     make(map[uint64]Truth),
+		end:       cfg.Start.Add(time.Duration(cfg.Days) * 24 * time.Hour),
+		nextJobID: cfg.JobIDBase,
+		nextApID:  cfg.ApIDBase,
 	}
 	s.run()
 

@@ -35,6 +35,14 @@ const (
 	// limit) — the page every fresh traversal starts from. Other pages are
 	// rendered per request; they are bounded and comparatively rare.
 	viewRunsFirst
+	// The merged /v1/fleet/* views. In fleet mode the store's snapshots ARE
+	// merged fleet snapshots, so these cache alongside the plain views under
+	// the same epoch-vector-bearing snapshot pointer.
+	viewFleetOutcomes
+	viewFleetScalingXE
+	viewFleetScalingXK
+	viewFleetMTTI
+	viewFleetCategories
 	numViews
 )
 

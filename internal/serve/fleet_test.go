@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"logdiver/internal/fleet"
+	"logdiver/internal/gen"
+	"logdiver/internal/store"
+	"logdiver/internal/version"
+)
+
+// testFleetServer boots a 2-shard fleet manager over generated archives and
+// serves it; the returned root locates the shard archive dirs for
+// fault-injection tests.
+func testFleetServer(t *testing.T) (*fleet.Manager, *httptest.Server, string) {
+	t.Helper()
+	machines := gen.Fleet(2, 1, 17)
+	for i := range machines {
+		machines[i].Config.Workload.JobsPerDay = 60
+	}
+	root := t.TempDir()
+	var b strings.Builder
+	for _, m := range machines {
+		ds, err := gen.Generate(m.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := filepath.Join(root, m.Name)
+		if err := ds.WriteDir(dir); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "[shard %s]\narchive-dir = %s\nmachine = small\n", m.Name, dir)
+	}
+	cfg, err := fleet.ParseConfig(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := fleet.NewManager(fleet.ManagerConfig{Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.SyncRound(t.Context())
+	srv, err := New(Config{Fleet: mgr, Version: version.Get()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return mgr, ts, root
+}
+
+func TestFleetEndpointsMergedView(t *testing.T) {
+	mgr, ts, _ := testFleetServer(t)
+	v := mgr.View()
+
+	var out fleetOutcomesResponse
+	if code := getJSON(t, ts.URL+"/v1/fleet/outcomes", &out); code != http.StatusOK {
+		t.Fatalf("fleet outcomes status %d", code)
+	}
+	if out.Epoch != v.FleetEpoch {
+		t.Fatalf("fleet outcomes epoch %d, want fleet epoch %d", out.Epoch, v.FleetEpoch)
+	}
+	if out.Fleet.Partial {
+		t.Fatal("healthy fleet reported partial")
+	}
+	if len(out.Fleet.Shards) != 2 {
+		t.Fatalf("epoch vector has %d entries, want 2", len(out.Fleet.Shards))
+	}
+	var shardRuns int
+	for _, st := range v.Shards {
+		shardRuns += st.Runs
+	}
+	if out.TotalRuns != shardRuns {
+		t.Fatalf("merged total_runs %d != shard sum %d", out.TotalRuns, shardRuns)
+	}
+
+	// The merged scaling, mtti and categories views answer with the vector
+	// too, for both classes.
+	for _, path := range []string{"/v1/fleet/scaling", "/v1/fleet/scaling?class=xk", "/v1/fleet/mtti", "/v1/fleet/categories"} {
+		var any struct {
+			Epoch uint64    `json:"epoch"`
+			Fleet fleetMeta `json:"fleet"`
+		}
+		if code := getJSON(t, ts.URL+path, &any); code != http.StatusOK {
+			t.Fatalf("%s status %d", path, code)
+		}
+		if any.Epoch != v.FleetEpoch || len(any.Fleet.Shards) != 2 {
+			t.Fatalf("%s: epoch %d vector %v", path, any.Epoch, any.Fleet.Shards)
+		}
+	}
+
+	// Conditional revalidation within the fleet epoch is a 304.
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/fleet/outcomes", nil)
+	req.Header.Set("If-None-Match", `"`+fmt.Sprint(v.FleetEpoch)+`"`)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional fleet request status %d, want 304", resp.StatusCode)
+	}
+}
+
+func TestFleetMachineParam(t *testing.T) {
+	mgr, ts, _ := testFleetServer(t)
+	v := mgr.View()
+	name := v.Shards[0].Name
+
+	var out outcomesResponse
+	if code := getJSON(t, ts.URL+"/v1/fleet/outcomes?machine="+name, &out); code != http.StatusOK {
+		t.Fatalf("machine view status %d", code)
+	}
+	if out.Epoch != v.Shards[0].Epoch {
+		t.Fatalf("machine view epoch %d, want shard epoch %d", out.Epoch, v.Shards[0].Epoch)
+	}
+	if out.TotalRuns != v.Shards[0].Runs {
+		t.Fatalf("machine view runs %d, want %d", out.TotalRuns, v.Shards[0].Runs)
+	}
+
+	// The shard view carries its own machine-scoped entity tag and honors
+	// conditional requests.
+	resp, err := http.Get(ts.URL + "/v1/fleet/outcomes?machine=" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if want := fmt.Sprintf("%q", fmt.Sprintf("%s-%d", name, v.Shards[0].Epoch)); etag != want {
+		t.Fatalf("shard ETag %s, want %s", etag, want)
+	}
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/fleet/outcomes?machine="+name, nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional shard request status %d, want 304", resp.StatusCode)
+	}
+
+	var e errResponse
+	if code := getJSON(t, ts.URL+"/v1/fleet/outcomes?machine=nope", &e); code != http.StatusNotFound {
+		t.Fatalf("unknown machine status %d, want 404", code)
+	}
+}
+
+func TestFleetHealthAndMetrics(t *testing.T) {
+	mgr, ts, _ := testFleetServer(t)
+	v := mgr.View()
+
+	var h healthResponse
+	if code := getJSON(t, ts.URL+"/v1/health", &h); code != http.StatusOK {
+		t.Fatalf("health status %d", code)
+	}
+	if h.Status != "ok" || h.Fleet == nil {
+		t.Fatalf("health: status=%q fleet=%v", h.Status, h.Fleet)
+	}
+	if h.Fleet.FleetEpoch != v.FleetEpoch || h.Fleet.Partial {
+		t.Fatalf("health fleet: %+v", h.Fleet)
+	}
+	if len(h.Fleet.Shards) != 2 {
+		t.Fatalf("health shard rows: %d", len(h.Fleet.Shards))
+	}
+	for _, sh := range h.Fleet.Shards {
+		if sh.Status != "ok" || sh.Epoch == 0 || sh.Runs == 0 {
+			t.Fatalf("shard row %+v", sh)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		`logdiver_shard_epoch{machine="` + v.Shards[0].Name + `"} 1`,
+		`logdiver_shard_up{machine="` + v.Shards[1].Name + `"} 1`,
+		`logdiver_shard_lag_seconds{machine="` + v.Shards[0].Name + `"}`,
+		"logdiver_fleet_partial 0",
+		"logdiver_fleet_shards 2",
+		"logdiver_fleet_epoch 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestFleetDegradedShardServes(t *testing.T) {
+	mgr, ts, root := testFleetServer(t)
+	before := mgr.View()
+	victim := before.Shards[1].Name
+
+	// Replace the victim's syslog with a directory: the next poll fails,
+	// the shard degrades, and the fleet keeps serving its last good
+	// snapshot merged with the healthy shard.
+	syslog := filepath.Join(root, victim, store.SyslogFile)
+	if err := os.Remove(syslog); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(syslog, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	mgr.SyncRound(t.Context())
+
+	var out fleetOutcomesResponse
+	if code := getJSON(t, ts.URL+"/v1/fleet/outcomes", &out); code != http.StatusOK {
+		t.Fatalf("degraded fleet outcomes status %d", code)
+	}
+	if !out.Fleet.Partial {
+		t.Fatal("degraded fleet response not marked partial")
+	}
+	if len(out.Fleet.Shards) != 2 {
+		t.Fatalf("degraded vector lost a shard: %v", out.Fleet.Shards)
+	}
+
+	var h healthResponse
+	getJSON(t, ts.URL+"/v1/health", &h)
+	if h.Status != "degraded" || h.Fleet == nil || !h.Fleet.Partial {
+		t.Fatalf("degraded health: status=%q fleet=%+v", h.Status, h.Fleet)
+	}
+	var sawFailed bool
+	for _, sh := range h.Fleet.Shards {
+		if sh.Name == victim {
+			sawFailed = sh.Status == "failed" && sh.Error != ""
+		}
+	}
+	if !sawFailed {
+		t.Fatalf("victim %s not reported failed: %+v", victim, h.Fleet.Shards)
+	}
+
+	// The failed shard's per-machine view still answers from its last good
+	// snapshot.
+	var mv outcomesResponse
+	if code := getJSON(t, ts.URL+"/v1/fleet/outcomes?machine="+victim, &mv); code != http.StatusOK {
+		t.Fatalf("failed shard view status %d", code)
+	}
+	if mv.TotalRuns == 0 {
+		t.Fatal("failed shard view lost its last good snapshot")
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"logdiver_fleet_partial 1",
+		`logdiver_shard_up{machine="` + victim + `"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("degraded metrics missing %q", want)
+		}
+	}
+}

@@ -62,10 +62,25 @@ func (m *promMetrics) observe(endpoint string, status int, took time.Duration) {
 	st.durationNanos.Add(int64(took))
 }
 
+// labeledGauge is one sample of a labeled gauge family.
+type labeledGauge struct {
+	labelValue string
+	value      float64
+}
+
+// gaugeFamily is a gauge with one label dimension (the fleet per-shard
+// gauges: one sample per machine). Samples render in the order given;
+// callers pass them pre-sorted.
+type gaugeFamily struct {
+	name, help, label string
+	samples           []labeledGauge
+}
+
 // render writes the Prometheus text exposition format. Gauges describing
-// the serving state (snapshot epoch, run count, ingestion lag) come from
-// the caller so the registry stays decoupled from the store.
-func (m *promMetrics) render(w http.ResponseWriter, gauges map[string]float64) {
+// the serving state (snapshot epoch, run count, ingestion lag) and the
+// labeled families (per-shard gauges in fleet mode) come from the caller so
+// the registry stays decoupled from the store.
+func (m *promMetrics) render(w http.ResponseWriter, gauges map[string]float64, families []gaugeFamily) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	var b strings.Builder
 
@@ -118,6 +133,12 @@ func (m *promMetrics) render(w http.ResponseWriter, gauges map[string]float64) {
 	sort.Strings(gkeys)
 	for _, k := range gkeys {
 		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", k, k, gauges[k])
+	}
+	for _, f := range families {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", f.name, f.help, f.name)
+		for _, s := range f.samples {
+			fmt.Fprintf(&b, "%s{%s=%q} %g\n", f.name, f.label, s.labelValue, s.value)
+		}
 	}
 	_, _ = w.Write([]byte(b.String()))
 }

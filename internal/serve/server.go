@@ -19,6 +19,7 @@ import (
 
 	"logdiver/internal/core"
 	"logdiver/internal/correlate"
+	"logdiver/internal/fleet"
 	"logdiver/internal/metrics"
 	"logdiver/internal/store"
 	"logdiver/internal/version"
@@ -57,8 +58,15 @@ type RestoreInfo struct {
 
 // Config wires a Server.
 type Config struct {
-	// Store supplies snapshots. Required.
+	// Store supplies snapshots. Required unless Fleet is set, in which case
+	// it defaults to the fleet manager's merged store — the fleet's merged
+	// snapshots then flow through the same cache and ETag machinery as a
+	// single machine's.
 	Store *store.Store
+	// Fleet, when non-nil, puts the server in fleet mode: /v1/fleet/*
+	// endpoints are mounted, /v1/health grows a per-shard section and
+	// /metrics per-shard gauge families.
+	Fleet *fleet.Manager
 	// Version is reported by /v1/health.
 	Version version.Info
 	// Restore, when non-nil, reports the boot provenance on /v1/health and
@@ -118,8 +126,16 @@ var endpointKeys = []string{
 	"health", "outcomes", "scaling", "mtti", "categories", "runs", "runs_list", "metrics",
 }
 
+// fleetEndpointKeys extends endpointKeys in fleet mode.
+var fleetEndpointKeys = []string{
+	"fleet_outcomes", "fleet_scaling", "fleet_mtti", "fleet_categories",
+}
+
 // New validates cfg and builds the route table.
 func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil && cfg.Fleet != nil {
+		cfg.Store = cfg.Fleet.FleetStore()
+	}
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("serve: nil store")
 	}
@@ -138,9 +154,13 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	keys := endpointKeys
+	if cfg.Fleet != nil {
+		keys = append(append([]string{}, endpointKeys...), fleetEndpointKeys...)
+	}
 	s := &Server{
 		cfg:        cfg,
-		prom:       newPromMetrics(endpointKeys),
+		prom:       newPromMetrics(keys),
 		mux:        http.NewServeMux(),
 		retryAfter: strconv.Itoa(int(math.Ceil(cfg.RetryAfter.Seconds()))),
 	}
@@ -159,6 +179,12 @@ func New(cfg Config) (*Server, error) {
 	s.routeFast("GET /v1/runs", "runs_list", s.handleRuns)
 	s.route("GET /v1/runs/{apid}", "runs", s.handleRun)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
+	if cfg.Fleet != nil {
+		s.routeFast("GET /v1/fleet/outcomes", "fleet_outcomes", s.handleFleetOutcomes)
+		s.routeFast("GET /v1/fleet/scaling", "fleet_scaling", s.handleFleetScaling)
+		s.routeFast("GET /v1/fleet/mtti", "fleet_mtti", s.handleFleetMTTI)
+		s.routeFast("GET /v1/fleet/categories", "fleet_categories", s.handleFleetCategories)
+	}
 	return s, nil
 }
 
@@ -300,6 +326,9 @@ type healthResponse struct {
 	// Restore is the boot provenance (warm/cold/cold-fallback), when the
 	// daemon reports one.
 	Restore *RestoreInfo `json:"restore,omitempty"`
+	// Fleet reports per-shard health in fleet mode: the fleet epoch, the
+	// partial flag and one row per machine shard.
+	Fleet *fleetHealth `json:"fleet,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -331,6 +360,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if last, ok := s.cfg.Store.LastSync(); ok {
 		resp.IngestLagSeconds = s.cfg.Now().Sub(last).Seconds()
 	}
+	if s.cfg.Fleet != nil {
+		fh, degraded := s.fleetHealthOf()
+		resp.Fleet = fh
+		if degraded {
+			// Degraded, not down: merged responses still serve every healthy
+			// shard plus the failed shards' last good snapshots.
+			resp.Status = "degraded"
+		}
+	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -359,7 +397,7 @@ var outcomeOrder = []correlate.Outcome{
 	correlate.OutcomeSystemFailure,
 }
 
-func renderOutcomes(snap *store.Snapshot) []byte {
+func outcomesBody(snap *store.Snapshot) outcomesResponse {
 	b := snap.Outcomes
 	resp := outcomesResponse{
 		Epoch:                   snap.Epoch,
@@ -376,7 +414,11 @@ func renderOutcomes(snap *store.Snapshot) []byte {
 			NodeHours: b.NodeHours[o],
 		})
 	}
-	return encodeJSON(resp)
+	return resp
+}
+
+func renderOutcomes(snap *store.Snapshot) []byte {
+	return encodeJSON(outcomesBody(snap))
 }
 
 func (s *Server) handleOutcomes(w http.ResponseWriter, r *http.Request) {
@@ -406,7 +448,7 @@ type scalingResponse struct {
 	Buckets []scaleRow `json:"buckets"`
 }
 
-func renderScaling(snap *store.Snapshot, class string, buckets []metrics.ScaleBucket) []byte {
+func scalingBody(snap *store.Snapshot, class string, buckets []metrics.ScaleBucket) scalingResponse {
 	resp := scalingResponse{Epoch: snap.Epoch, Class: class, Buckets: make([]scaleRow, 0, len(buckets))}
 	for _, b := range buckets {
 		resp.Buckets = append(resp.Buckets, scaleRow{
@@ -420,7 +462,11 @@ func renderScaling(snap *store.Snapshot, class string, buckets []metrics.ScaleBu
 			ProbHi:   b.Prob.Hi,
 		})
 	}
-	return encodeJSON(resp)
+	return resp
+}
+
+func renderScaling(snap *store.Snapshot, class string, buckets []metrics.ScaleBucket) []byte {
+	return encodeJSON(scalingBody(snap, class, buckets))
 }
 
 func renderScalingXE(snap *store.Snapshot) []byte {
@@ -462,7 +508,7 @@ type mttiResponse struct {
 	Buckets []mttiRow `json:"buckets"`
 }
 
-func renderMTTI(snap *store.Snapshot) []byte {
+func mttiBody(snap *store.Snapshot) mttiResponse {
 	resp := mttiResponse{Epoch: snap.Epoch, Buckets: make([]mttiRow, 0, len(snap.MTTI))}
 	for _, b := range snap.MTTI {
 		resp.Buckets = append(resp.Buckets, mttiRow{
@@ -474,7 +520,11 @@ func renderMTTI(snap *store.Snapshot) []byte {
 			MTTIHours:     b.MTTIHours,
 		})
 	}
-	return encodeJSON(resp)
+	return resp
+}
+
+func renderMTTI(snap *store.Snapshot) []byte {
+	return encodeJSON(mttiBody(snap))
 }
 
 func (s *Server) handleMTTI(w http.ResponseWriter, r *http.Request) {
@@ -499,7 +549,7 @@ type categoriesResponse struct {
 	Categories []categoryRow `json:"categories"`
 }
 
-func renderCategories(snap *store.Snapshot) []byte {
+func categoriesBody(snap *store.Snapshot) categoriesResponse {
 	resp := categoriesResponse{Epoch: snap.Epoch, Categories: make([]categoryRow, 0, len(snap.Categories))}
 	for _, c := range snap.Categories {
 		resp.Categories = append(resp.Categories, categoryRow{
@@ -509,7 +559,11 @@ func renderCategories(snap *store.Snapshot) []byte {
 			NodeHoursLost: c.NodeHoursLost,
 		})
 	}
-	return encodeJSON(resp)
+	return resp
+}
+
+func renderCategories(snap *store.Snapshot) []byte {
+	return encodeJSON(categoriesBody(snap))
 }
 
 func (s *Server) handleCategories(w http.ResponseWriter, r *http.Request) {
@@ -633,5 +687,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		gauges["logdiver_warm_restart"] = warm
 	}
-	s.prom.render(w, gauges)
+	var families []gaugeFamily
+	if s.cfg.Fleet != nil {
+		families = s.fleetGauges(gauges)
+	}
+	s.prom.render(w, gauges, families)
 }

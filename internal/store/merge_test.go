@@ -1,0 +1,294 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"logdiver/internal/core"
+	"logdiver/internal/correlate"
+	"logdiver/internal/gen"
+	"logdiver/internal/machine"
+	"logdiver/internal/metrics"
+)
+
+// fleetFixture returns a small, fast fleet: k machines, one day each, with
+// the workload thinned so the whole suite stays in test-friendly time.
+func fleetFixture(t testing.TB, k int) []gen.FleetMachine {
+	t.Helper()
+	machines := gen.Fleet(k, 1, 7)
+	for i := range machines {
+		machines[i].Config.Workload.JobsPerDay = 120
+		machines[i].Config.Rates.NodeFatalPerNodeHour *= 20
+		machines[i].Config.Rates.GPUFatalPerNodeHour *= 50
+	}
+	return machines
+}
+
+// scratchShard analyzes one machine's windows from scratch — the oracle's
+// reference path — and returns the per-shard snapshot stamped with the
+// machine name and epoch.
+func scratchShard(t testing.TB, m gen.FleetMachine, windows int, par int, epoch uint64) *Snapshot {
+	t.Helper()
+	var acc, aps, sys strings.Builder
+	for w := 0; w < windows; w++ {
+		ds, err := gen.Generate(m.Window(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.WriteAccounting(&acc); err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.WriteApsys(&aps); err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.WriteErrorLog(&sys); err != nil {
+			t.Fatal(err)
+		}
+	}
+	top, err := machine.New(m.Config.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Analyze(core.Archives{
+		Accounting: strings.NewReader(acc.String()),
+		Apsys:      strings.NewReader(aps.String()),
+		Syslog:     strings.NewReader(sys.String()),
+	}, top, core.Options{Parallelism: par})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Build(res, top, IngestStats{}, time.Unix(0, 0).UTC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Machine = m.Name
+	snap.Epoch = epoch
+	return snap
+}
+
+// syncedShard drives the incremental path over the same windows: a tailer
+// and syncer against real archive files, appending one window per round.
+func syncedShard(t *testing.T, m gen.FleetMachine, windows int, par int) *Snapshot {
+	t.Helper()
+	dir := t.TempDir()
+	top, err := machine.New(m.Config.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := New()
+	sy, err := NewSyncer(SyncerConfig{
+		Tailer:   NewTailer(dir),
+		Store:    st,
+		Topology: top,
+		Machine:  m.Name,
+		Options:  core.Options{Parallelism: par},
+		Now:      func() time.Time { return time.Unix(0, 0).UTC() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < windows; w++ {
+		ds, err := gen.Generate(m.Window(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		writeArchives(t, dir, ds)
+		if _, err := sy.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := st.Current()
+	if snap == nil {
+		t.Fatal("no snapshot installed")
+	}
+	return snap
+}
+
+// mustJSON marshals v the way the serving layer does, for byte-identity
+// comparisons between merged and from-scratch views.
+func mustJSON(t testing.TB, v any) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestMergeOracle is the differential oracle: merging N per-machine
+// snapshots built incrementally (tailer + syncer, window appends) must be
+// byte-identical to analyzing each machine's concatenated input from
+// scratch and aggregating over the combined run sequence — at parallelism
+// 1 and 4.
+func TestMergeOracle(t *testing.T) {
+	machines := fleetFixture(t, 3)
+	const windows = 2
+	for _, par := range []int{1, 4} {
+		par := par
+		t.Run(map[int]string{1: "par1", 4: "par4"}[par], func(t *testing.T) {
+			t.Parallel()
+			// Scatter side: incremental shards folded left-to-right.
+			merged := Zero()
+			var vector []ShardEpoch
+			for _, m := range machines {
+				snap := syncedShard(t, m, windows, par)
+				vector = append(vector, ShardEpoch{Machine: m.Name, Epoch: snap.Epoch})
+				merged = Merge(merged, snap)
+			}
+
+			// Gather side: from-scratch per-machine analyses concatenated
+			// in machine-name order, aggregated directly.
+			var runs []correlate.AttributedRun
+			for _, m := range machines {
+				runs = append(runs, scratchShard(t, m, windows, par, 1).Result.Runs...)
+			}
+			top, err := machine.New(machines[0].Config.Machine)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if got, want := len(merged.Result.Runs), len(runs); got != want {
+				t.Fatalf("merged runs = %d, from scratch = %d", got, want)
+			}
+			if !reflect.DeepEqual(merged.Result.Runs, runs) {
+				t.Fatal("merged run sequence differs from from-scratch concatenation")
+			}
+			if !reflect.DeepEqual(merged.Shards, vector) {
+				t.Fatalf("epoch vector = %+v, want %+v", merged.Shards, vector)
+			}
+
+			wantOut := metrics.Outcomes(runs)
+			wantCat := metrics.ByCategory(runs)
+			wantXE, err := metrics.FailureProbabilityByScale(runs, metrics.GeometricBuckets(top.NumXE()), machine.ClassXE)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantXK, err := metrics.FailureProbabilityByScale(runs, metrics.GeometricBuckets(top.NumXK()), machine.ClassXK)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantMTTI, err := metrics.MTTIByScale(runs, metrics.GeometricBuckets(top.NumNodes()), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cmp := range []struct {
+				name      string
+				got, want any
+			}{
+				{"outcomes", merged.Outcomes, wantOut},
+				{"categories", merged.Categories, wantCat},
+				{"scaling_xe", merged.ScalingXE, wantXE},
+				{"scaling_xk", merged.ScalingXK, wantXK},
+				{"mtti", merged.MTTI, wantMTTI},
+			} {
+				got, want := mustJSON(t, cmp.got), mustJSON(t, cmp.want)
+				if !bytes.Equal(got, want) {
+					t.Errorf("%s view not byte-identical to from-scratch:\n got: %s\nwant: %s", cmp.name, got, want)
+				}
+			}
+
+			// Every run resolves through the merged drill-down index.
+			for _, r := range runs {
+				got, ok := merged.Run(r.ApID)
+				if !ok {
+					t.Fatalf("merged snapshot missing run %d", r.ApID)
+				}
+				if !reflect.DeepEqual(got, r) {
+					t.Fatalf("run %d differs through merged index", r.ApID)
+				}
+			}
+			if merged.TotalRuns() != len(runs) {
+				t.Fatalf("TotalRuns = %d, want %d", merged.TotalRuns(), len(runs))
+			}
+		})
+	}
+}
+
+// TestMergeLaws proves the algebra: associative, commutative, identity.
+func TestMergeLaws(t *testing.T) {
+	machines := fleetFixture(t, 3)
+	snaps := make([]*Snapshot, len(machines))
+	for i, m := range machines {
+		snaps[i] = scratchShard(t, m, 1, 1, uint64(i+1))
+	}
+	s0, s1, s2 := snaps[0], snaps[1], snaps[2]
+
+	t.Run("associative", func(t *testing.T) {
+		left := Merge(Merge(s0, s1), s2)
+		right := Merge(s0, Merge(s1, s2))
+		if !reflect.DeepEqual(left, right) {
+			t.Fatal("(s0+s1)+s2 != s0+(s1+s2)")
+		}
+	})
+	t.Run("commutative", func(t *testing.T) {
+		for _, pair := range [][2]*Snapshot{{s0, s1}, {s1, s2}, {s0, s2}} {
+			ab := Merge(pair[0], pair[1])
+			ba := Merge(pair[1], pair[0])
+			if !reflect.DeepEqual(ab, ba) {
+				t.Fatalf("merge of %s/%s not commutative", pair[0].Machine, pair[1].Machine)
+			}
+		}
+	})
+	t.Run("identity", func(t *testing.T) {
+		for name, id := range map[string]*Snapshot{"zero": Zero(), "nil": nil} {
+			for _, m := range []*Snapshot{Merge(id, s0), Merge(s0, id)} {
+				if m == s0 {
+					t.Fatalf("%s identity merge aliases its argument", name)
+				}
+				if !reflect.DeepEqual(m.Result.Runs, s0.Result.Runs) {
+					t.Fatalf("%s identity merge changed the runs", name)
+				}
+				want := []ShardEpoch{{Machine: s0.Machine, Epoch: s0.Epoch}}
+				if !reflect.DeepEqual(m.EpochVector(), want) {
+					t.Fatalf("%s identity vector = %+v, want %+v", name, m.EpochVector(), want)
+				}
+				if !reflect.DeepEqual(m.Outcomes, s0.Outcomes) {
+					t.Fatalf("%s identity merge changed the outcomes", name)
+				}
+			}
+		}
+		z := Merge(nil, nil)
+		if !isZero(z) {
+			t.Fatal("merge of two identities is not the identity")
+		}
+	})
+	t.Run("never_aliases", func(t *testing.T) {
+		// Installing a merged (even single-shard) snapshot into a fleet
+		// store must not disturb the shard's own epoch.
+		before := s0.Epoch
+		fleet := New()
+		fleet.Install(Merge(Zero(), s0))
+		if s0.Epoch != before {
+			t.Fatalf("installing the merged snapshot changed the shard epoch: %d -> %d", before, s0.Epoch)
+		}
+	})
+	t.Run("partial_propagates", func(t *testing.T) {
+		p := cloneMerged(s0)
+		p.Partial = true
+		if m := Merge(p, s1); !m.Partial {
+			t.Fatal("partial flag lost in merge")
+		}
+		if m := Merge(s1, p); !m.Partial {
+			t.Fatal("partial flag lost in merge (right argument)")
+		}
+	})
+}
+
+// BenchmarkMerge measures one pairwise fleet merge; BENCH_merge.json gates
+// its ns/op and allocs/op ceilings in CI.
+func BenchmarkMerge(b *testing.B) {
+	machines := fleetFixture(b, 2)
+	a := scratchShard(b, machines[0], 1, 0, 1)
+	c := scratchShard(b, machines[1], 1, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m := Merge(a, c); m.TotalRuns() == 0 {
+			b.Fatal("empty merge")
+		}
+	}
+}

@@ -57,6 +57,33 @@ type Snapshot struct {
 	// Ingest describes how the data got here.
 	Ingest IngestStats
 
+	// Machine names the shard this snapshot was built from. Empty for
+	// merged (fleet) snapshots and for legacy single-machine callers that
+	// never set it; the Syncer stamps its configured shard name.
+	Machine string
+	// Shards is the fleet epoch vector of a merged snapshot: one
+	// {machine, epoch} pair per contributing shard, sorted by machine
+	// name. Nil on unmerged snapshots (their implicit vector is the
+	// single {Machine, Epoch} pair — see EpochVector). Because the vector
+	// is part of the immutable snapshot, a fleet read can never observe a
+	// mix of per-shard epochs: every view is rendered from exactly one
+	// vector.
+	Shards []ShardEpoch
+	// Partial marks a merged snapshot that is missing one or more
+	// configured shards (failed or not yet synced). Always false on
+	// unmerged snapshots.
+	Partial bool
+	// NumNodes, NumXE and NumXK are the topology extents the scaling and
+	// MTTI bucket bounds were derived from. Merge uses them to rebucket
+	// when two snapshots were built against different topologies.
+	NumNodes, NumXE, NumXK int
+
+	// spans records, aligned with Shards, how many runs/jobs/events each
+	// shard contributed to the concatenated Result slices. Nil on
+	// unmerged snapshots (the whole Result is one implicit span). Merge
+	// needs the boundaries to re-interleave shard groups canonically.
+	spans *shardSpans
+
 	// runIndex maps apid to Result.Runs index for the drill-down endpoint.
 	runIndex map[uint64]int
 	// apidsSorted holds every run apid in ascending order. It backs the
@@ -83,6 +110,9 @@ func Build(res *core.Result, top *machine.Topology, ing IngestStats, at time.Tim
 		Outcomes:   metrics.Outcomes(res.Runs),
 		Categories: metrics.ByCategory(res.Runs),
 		Ingest:     ing,
+		NumNodes:   top.NumNodes(),
+		NumXE:      top.NumXE(),
+		NumXK:      top.NumXK(),
 		runIndex:   make(map[uint64]int, len(res.Runs)),
 	}
 	var err error

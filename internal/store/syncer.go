@@ -20,6 +20,11 @@ type SyncerConfig struct {
 	Location *time.Location
 	// Options follows core.Analyze semantics (zero value = study defaults).
 	Options core.Options
+	// Machine, when set, stamps every built snapshot with the shard name
+	// it was analyzed for. The fleet manager sets it so merged views can
+	// identify each contribution; the single-machine daemon leaves it
+	// empty.
+	Machine string
 	// Resume, when non-nil, warm-starts the syncer from persisted state:
 	// the pipeline picks up its assemblers and attribution carry, the
 	// tailer its offsets, and the ingest counters their history. The
@@ -35,12 +40,13 @@ type SyncerConfig struct {
 // daemon runs Sync from a single goroutine and readers see the results
 // through the Store.
 type Syncer struct {
-	tail  *Tailer
-	inc   *core.Incremental
-	store *Store
-	top   *machine.Topology
-	now   func() time.Time
-	ing   IngestStats
+	tail    *Tailer
+	inc     *core.Incremental
+	store   *Store
+	top     *machine.Topology
+	machine string
+	now     func() time.Time
+	ing     IngestStats
 }
 
 // NewSyncer validates cfg and returns a Syncer with an empty pipeline.
@@ -73,12 +79,13 @@ func NewSyncer(cfg SyncerConfig) (*Syncer, error) {
 		now = time.Now
 	}
 	return &Syncer{
-		tail:  cfg.Tailer,
-		inc:   inc,
-		store: cfg.Store,
-		top:   cfg.Topology,
-		now:   now,
-		ing:   ing,
+		tail:    cfg.Tailer,
+		inc:     inc,
+		store:   cfg.Store,
+		top:     cfg.Topology,
+		machine: cfg.Machine,
+		now:     now,
+		ing:     ing,
 	}, nil
 }
 
@@ -120,6 +127,7 @@ func (s *Syncer) Sync() (installed bool, err error) {
 	if err != nil {
 		return false, err
 	}
+	snap.Machine = s.machine
 	s.store.Install(snap)
 	return true, nil
 }
