@@ -18,6 +18,9 @@
 //	    [-machine bluewaters|small] [-start YYYY-MM-DD] [-seed N]
 //	logdiver generate -fleet K -days D -out ./fleet [-seed N] \
 //	    [-fleet-window W] [-fleet-only NAME]
+//	logdiver simulate -accounting acc.log -apsys apsys.log -syslog sys.log \
+//	    [-policy policies.conf | -checkpoint daly -retry-limit 2 ...] \
+//	    [-seed N] [-machine bluewaters|small] [-format ascii|md|csv] [-json]
 //	logdiver state -file state.ldv | -state-dir ./state [-json]
 //	logdiver version
 //
@@ -56,6 +59,15 @@
 // archives (optionally a single machine via -fleet-only), which the fleet
 // smoke test uses to advance one shard's epoch.
 //
+// simulate runs the counterfactual resilience simulator over an analyzed
+// archive: it attributes every run exactly as analyze does, then replays
+// the run stream under declarative resilience policies (checkpoint/restart
+// with fixed or Daly-optimal intervals, bounded retry, detection-coverage
+// counterfactuals) and prints the what-if tables (W1-W3) comparing each
+// policy against the measured baseline. Policies come from a -policy config
+// file (see SIMULATION.md), from the inline single-policy flags, or default
+// to the built-in policy set. Same archive and -seed: identical output.
+//
 // state inspects and verifies a logdiverd durable-state file (the
 // <state-dir>/state.ldv a daemon warm-starts from): it validates the
 // header, version and checksum exactly as the daemon would and prints the
@@ -85,11 +97,13 @@ import (
 	"logdiver/internal/avail"
 	"logdiver/internal/coalesce"
 	"logdiver/internal/gen"
+	"logdiver/internal/metrics"
 	"logdiver/internal/mutate"
 	"logdiver/internal/rulecheck"
 	"logdiver/internal/syslogx"
 	"logdiver/internal/taxonomy"
 	"logdiver/internal/version"
+	"logdiver/internal/whatif"
 )
 
 func main() {
@@ -119,10 +133,12 @@ func run(args []string) error {
 		return lintRules(args[1:])
 	case "mutate":
 		return mutateCmd(args[1:])
+	case "simulate":
+		return simulate(args[1:])
 	case "state":
 		return stateCmd(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want analyze, avail, coalesce, generate, lint-rules, mutate or state)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want analyze, avail, coalesce, generate, lint-rules, mutate, simulate or state)", args[0])
 	}
 }
 
@@ -159,52 +175,15 @@ func analyze(args []string) error {
 		return fmt.Errorf("analyze: -apsys is required (application runs are the unit of analysis)")
 	}
 
-	var mc logdiver.MachineConfig
-	switch *machine {
-	case "bluewaters":
-		mc = logdiver.BlueWaters()
-	case "small":
-		mc = logdiver.SmallMachine()
-	default:
-		return fmt.Errorf("unknown machine %q", *machine)
-	}
-	top, err := logdiver.NewTopology(mc)
+	archives, top, closers, err := openArchives(*accPath, *apsPath, *sysPath, *machine, *timezone)
 	if err != nil {
 		return err
 	}
-	loc, err := time.LoadLocation(*timezone)
-	if err != nil {
-		return fmt.Errorf("timezone: %w", err)
-	}
-
-	archives := logdiver.Archives{Location: loc}
-	var closers []io.Closer
 	defer func() {
 		for _, c := range closers {
 			c.Close()
 		}
 	}()
-	openInto := func(path string, dst *io.Reader) error {
-		if path == "" {
-			return nil
-		}
-		f, err := os.Open(path)
-		if err != nil {
-			return err
-		}
-		closers = append(closers, f)
-		*dst = f
-		return nil
-	}
-	if err := openInto(*accPath, &archives.Accounting); err != nil {
-		return err
-	}
-	if err := openInto(*apsPath, &archives.Apsys); err != nil {
-		return err
-	}
-	if err := openInto(*sysPath, &archives.Syslog); err != nil {
-		return err
-	}
 
 	opts := logdiver.Options{Parallelism: *par, ParseMode: parseMode}
 	if *rules != "" {
@@ -262,6 +241,183 @@ func analyze(args []string) error {
 		return err
 	}
 	for _, tbl := range tables {
+		var renderErr error
+		switch *format {
+		case "ascii":
+			renderErr = tbl.Render(os.Stdout)
+			fmt.Println()
+		case "md":
+			renderErr = tbl.RenderMarkdown(os.Stdout)
+		case "csv":
+			fmt.Printf("# %s: %s\n", tbl.ID, tbl.Title)
+			renderErr = tbl.RenderCSV(os.Stdout)
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+		if renderErr != nil {
+			return renderErr
+		}
+	}
+	return nil
+}
+
+// openArchives resolves the machine model and timezone and opens whichever
+// of the three archive paths are non-empty. The caller closes the returned
+// closers when the analysis is done. Shared by analyze and simulate.
+func openArchives(accPath, apsPath, sysPath, machineName, timezone string) (logdiver.Archives, *logdiver.Topology, []io.Closer, error) {
+	var mc logdiver.MachineConfig
+	switch machineName {
+	case "bluewaters":
+		mc = logdiver.BlueWaters()
+	case "small":
+		mc = logdiver.SmallMachine()
+	default:
+		return logdiver.Archives{}, nil, nil, fmt.Errorf("unknown machine %q", machineName)
+	}
+	top, err := logdiver.NewTopology(mc)
+	if err != nil {
+		return logdiver.Archives{}, nil, nil, err
+	}
+	loc, err := time.LoadLocation(timezone)
+	if err != nil {
+		return logdiver.Archives{}, nil, nil, fmt.Errorf("timezone: %w", err)
+	}
+
+	archives := logdiver.Archives{Location: loc}
+	var closers []io.Closer
+	openInto := func(path string, dst *io.Reader) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, f)
+		*dst = f
+		return nil
+	}
+	for _, o := range []struct {
+		path string
+		dst  *io.Reader
+	}{
+		{accPath, &archives.Accounting},
+		{apsPath, &archives.Apsys},
+		{sysPath, &archives.Syslog},
+	} {
+		if err := openInto(o.path, o.dst); err != nil {
+			for _, c := range closers {
+				c.Close()
+			}
+			return logdiver.Archives{}, nil, nil, err
+		}
+	}
+	return archives, top, closers, nil
+}
+
+// simulate replays an analyzed archive through the counterfactual resilience
+// simulator: attribute every run, derive the by-scale MTTI table, and report
+// what each policy (checkpoint/restart, retry, detection coverage) would
+// have changed. Policies come from a -policy config file, from the inline
+// flags (one policy), or default to whatif.DefaultPolicies.
+func simulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	var (
+		accPath  = fs.String("accounting", "", "path to the accounting archive")
+		apsPath  = fs.String("apsys", "", "path to the apsys archive")
+		sysPath  = fs.String("syslog", "", "path to the syslog archive")
+		machine  = fs.String("machine", "bluewaters", "machine model: bluewaters or small")
+		timezone = fs.String("tz", "UTC", "accounting timestamp zone")
+		par      = fs.Int("parallelism", 0, "worker count for ingestion and simulation (0 = GOMAXPROCS; results are identical at any setting)")
+		mode     = fs.String("parse-mode", "lenient", "malformed-input policy: lenient (skip and account) or strict (fail fast)")
+		policy   = fs.String("policy", "", "policy config file (whatif format; mutually exclusive with the inline policy flags)")
+		seed     = fs.Int64("seed", 1, "simulation seed (same seed, same archive: identical report)")
+		format   = fs.String("format", "ascii", "output format: ascii, md or csv")
+		jsonOut  = fs.Bool("json", false, "emit the full report as JSON instead of tables")
+
+		// Inline single-policy flags, rendered into the same config
+		// vocabulary the -policy file uses (read back via fs.Visit, so
+		// only the name flag needs a binding).
+		name = fs.String("name", "policy", "inline policy name")
+	)
+	fs.String("checkpoint", "", "checkpointing: none, fixed or daly")
+	fs.Duration("checkpoint-interval", 0, "fixed checkpoint interval")
+	fs.Duration("checkpoint-cost", 0, "time to write one checkpoint")
+	fs.Duration("restart-cost", 0, "time to restore from a checkpoint")
+	fs.Int("retry-limit", 0, "automatic retries per interrupted run")
+	fs.Duration("retry-backoff", 0, "delay before each retry")
+	fs.Float64("detect-fraction", 0, "fraction of silent XK failures made detectable [0,1]")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	parseMode, err := logdiver.ParseModeFromString(*mode)
+	if err != nil {
+		return err
+	}
+	if *apsPath == "" {
+		return fmt.Errorf("simulate: -apsys is required (application runs are the unit of analysis)")
+	}
+
+	// Inline flags render into the config text format, so the file and
+	// flag paths share one parser, one validator and one vocabulary.
+	var inline strings.Builder
+	fmt.Fprintf(&inline, "[policy %s]\n", *name)
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "checkpoint", "checkpoint-interval", "checkpoint-cost",
+			"restart-cost", "retry-limit", "retry-backoff", "detect-fraction":
+			fmt.Fprintf(&inline, "%s = %s\n", f.Name, f.Value)
+		}
+	})
+	inlineSet := strings.Count(inline.String(), "\n") > 1
+	var policies []whatif.Policy
+	switch {
+	case *policy != "" && inlineSet:
+		return fmt.Errorf("simulate: -policy is mutually exclusive with the inline policy flags")
+	case *policy != "":
+		if policies, err = whatif.LoadPolicies(*policy); err != nil {
+			return err
+		}
+	case inlineSet:
+		if policies, err = whatif.ParsePolicies(inline.String()); err != nil {
+			return err
+		}
+	default:
+		policies = whatif.DefaultPolicies()
+	}
+
+	archives, top, closers, err := openArchives(*accPath, *apsPath, *sysPath, *machine, *timezone)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	res, err := logdiver.Analyze(archives, top, logdiver.Options{Parallelism: *par, ParseMode: parseMode})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "parsed: %d runs; simulating %d policies, seed %d\n",
+		len(res.Runs), len(policies), *seed)
+
+	mtti, err := metrics.MTTIByScale(res.Runs, metrics.GeometricBuckets(top.NumNodes()), 0)
+	if err != nil {
+		return err
+	}
+	rep, err := whatif.Simulate(whatif.Input{Runs: res.Runs, MTTI: mtti},
+		policies, whatif.Options{Seed: *seed, Parallelism: *par})
+	if err != nil {
+		return err
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	for _, tbl := range rep.Tables() {
 		var renderErr error
 		switch *format {
 		case "ascii":

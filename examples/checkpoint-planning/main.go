@@ -2,16 +2,21 @@
 // operational answer — how often should an application at scale X
 // checkpoint, and what does the machine's reliability cost it? This is the
 // follow-on question the paper's MTTI measurements exist to answer.
+//
+// The plan comes from the whatif policy layer (the same math `logdiver
+// simulate` and /v1/whatif apply), so what this prints is exactly what the
+// counterfactual simulator would charge a run under the policy.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"logdiver"
-	"logdiver/internal/checkpoint"
 	"logdiver/internal/metrics"
+	"logdiver/internal/whatif"
 )
 
 func main() {
@@ -44,30 +49,34 @@ func run() error {
 		return err
 	}
 
+	// A Daly-interval checkpoint/restart policy, stated exactly as a
+	// `logdiver simulate -policy` file or a /v1/whatif request would.
+	pol := whatif.Policy{
+		Name:           "planning",
+		Checkpoint:     whatif.CheckpointDaly,
+		CheckpointCost: time.Duration(*ckptMin * float64(time.Minute)),
+		RestartCost:    time.Duration(*restartMin * float64(time.Minute)),
+	}
+	plans, err := whatif.PlanByScale(buckets, pol, 24)
+	if err != nil {
+		return err
+	}
+
 	fmt.Printf("measured over %d runs (%d synthesized days)\n\n", len(res.Runs), *days)
 	fmt.Printf("%-14s %9s %10s %12s %11s %12s\n",
 		"nodes", "MTTI (h)", "Young (h)", "Daly (h)", "efficiency", "no-ckpt 24h")
-	for _, b := range buckets {
-		label := fmt.Sprintf("%d-%d", b.Lo, b.Hi-1)
-		if b.Interrupts == 0 {
-			fmt.Printf("%-14s %9s\n", label, "no interrupts observed")
+	for _, p := range plans {
+		if p.Interrupts == 0 {
+			fmt.Printf("%-14s %9s\n", p.Label, "no interrupts observed")
 			continue
 		}
-		p := checkpoint.Params{
-			MTTIHours:       b.MTTIHours,
-			CheckpointHours: *ckptMin / 60,
-			RestartHours:    *restartMin / 60,
-		}
-		plan, err := checkpoint.BuildPlan(p, 24)
-		if err != nil {
-			return err
-		}
 		fmt.Printf("%-14s %9.1f %10.2f %12.2f %10.1f%% %11.1f%%\n",
-			label, b.MTTIHours, plan.YoungHours, plan.DalyHours,
-			100*plan.EfficiencyAtDaly, 100*plan.EfficiencyUnprotected)
+			p.Label, p.MTTIHours, p.Plan.YoungHours, p.Plan.DalyHours,
+			100*p.Plan.EfficiencyAtDaly, 100*p.Plan.EfficiencyUnprotected)
 	}
 	fmt.Println("\nReading: a 24-hour full-scale run without checkpointing survives with")
 	fmt.Println("the rightmost probability; with Daly-interval checkpoints it keeps the")
-	fmt.Println("'efficiency' fraction of its node-hours as useful work.")
+	fmt.Println("'efficiency' fraction of its node-hours as useful work. To see what the")
+	fmt.Println("policy changes run-by-run, feed the same policy to `logdiver simulate`.")
 	return nil
 }

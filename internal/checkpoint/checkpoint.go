@@ -5,6 +5,15 @@
 // lesson prices the work lost to system failures; this package answers the
 // follow-on question every Blue Waters team faced — how often to
 // checkpoint, given the MTTI the study measured at each scale.
+//
+// The package is pure arithmetic over a Params triple (MTTI, checkpoint
+// cost, restart cost), all in hours. Two layers build on it: the whatif
+// counterfactual simulator uses DalyInterval to place checkpoints when
+// replaying the measured run stream under a policy, and PlanByScale in
+// internal/whatif (driving examples/checkpoint-planning) uses BuildPlan to
+// turn a by-scale MTTI table into per-scale interval recommendations.
+// Keeping both on this one implementation is what makes the planning
+// numbers and the simulated charges agree.
 package checkpoint
 
 import (
@@ -12,9 +21,12 @@ import (
 	"math"
 )
 
-// Params describes one application's checkpoint economics.
+// Params describes one application's checkpoint economics. All durations
+// are hours; interrupts are modeled as exponential with mean MTTIHours.
 type Params struct {
-	// MTTIHours is the application-level mean time to interrupt.
+	// MTTIHours is the application-level mean time to interrupt. +Inf is
+	// a valid value ("no interrupts ever observed"): the optimal intervals
+	// become +Inf too, which callers read as "do not checkpoint".
 	MTTIHours float64
 	// CheckpointHours is the cost of writing one checkpoint.
 	CheckpointHours float64
@@ -23,7 +35,8 @@ type Params struct {
 	RestartHours float64
 }
 
-// Validate checks the parameters.
+// Validate checks the parameters: MTTI and checkpoint cost must be
+// positive (MTTI may be +Inf), restart cost non-negative.
 func (p Params) Validate() error {
 	if p.MTTIHours <= 0 {
 		return fmt.Errorf("checkpoint: MTTI %v must be positive", p.MTTIHours)
@@ -38,7 +51,10 @@ func (p Params) Validate() error {
 }
 
 // YoungInterval returns Young's first-order optimal checkpoint interval:
-// sqrt(2 * delta * MTTI), with delta the checkpoint cost.
+// sqrt(2 * delta * MTTI), with delta the checkpoint cost (Young, "A first
+// order approximation to the optimum checkpoint interval", 1974). It is
+// the stationary point of the overhead-plus-expected-rework cost when
+// delta << MTTI; DalyInterval refines it when that assumption fails.
 func YoungInterval(p Params) (float64, error) {
 	if err := p.Validate(); err != nil {
 		return 0, err
@@ -46,11 +62,18 @@ func YoungInterval(p Params) (float64, error) {
 	return math.Sqrt(2 * p.CheckpointHours * p.MTTIHours), nil
 }
 
-// DalyInterval returns Daly's higher-order optimum, which corrects Young's
-// formula when the checkpoint cost is not small relative to the MTTI:
+// DalyInterval returns Daly's higher-order optimum (Daly, "A higher order
+// estimate of the optimum checkpoint interval for restart dumps", 2006),
+// which corrects Young's formula when the checkpoint cost d is not small
+// relative to the MTTI M:
 //
 //	tau = sqrt(2 d M) * (1 + sqrt(d/(2M))/3 + (d/(2M))/9) - d   for d < 2M
 //	tau = M                                                     otherwise
+//
+// The perturbation expansion behind the d < 2M branch loses accuracy as d
+// approaches 2M, where Daly's recommendation degenerates to checkpointing
+// once per MTTI. An infinite MTTI yields tau = +Inf: with no interrupts
+// there is no interval worth paying for.
 func DalyInterval(p Params) (float64, error) {
 	if err := p.Validate(); err != nil {
 		return 0, err
@@ -92,7 +115,10 @@ func Efficiency(p Params, tau float64) (float64, error) {
 	return eff, nil
 }
 
-// Plan summarizes the checkpoint policy implied by a measured MTTI.
+// Plan summarizes the checkpoint policy implied by a measured MTTI: both
+// optimal intervals, the modeled efficiency at the Daly interval, and the
+// unprotected survival probability for a reference-length run. It is the
+// unit PlanByScale emits per scale bucket.
 type Plan struct {
 	Params
 	// YoungHours and DalyHours are the two optimal intervals.

@@ -1,0 +1,97 @@
+// Package scenario is a small hypothesis-style harness for simulation
+// test suites. It enforces the discipline the scenario suites follow:
+// a hypothesis varies exactly ONE dimension, replicates every point
+// across MULTIPLE seeds, and asserts its PRECONDITIONS on the dataset
+// before asserting anything about outcomes — so a hypothesis that holds
+// vacuously (no system failures to recover, no hybrid candidates to
+// detect) fails loudly instead of passing silently.
+package scenario
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Case is one evaluation point: one value of the varied dimension paired
+// with one replication seed.
+type Case struct {
+	// Value is the dimension value under test (its display form).
+	Value string
+	// Index is the value's position in Hypothesis.Values, for tests that
+	// compare adjacent points (monotonicity and the like).
+	Index int
+	// Seed is the replication seed.
+	Seed int64
+}
+
+// Hypothesis is one falsifiable claim about the system under simulation.
+type Hypothesis struct {
+	// Name labels the claim ("retry-limit-monotone").
+	Name string
+	// Dimension names the single varied dimension; Values are its points
+	// in sweep order (at least two — a hypothesis must vary something).
+	Dimension string
+	Values    []string
+	// Seeds are the replication seeds (at least two — a hypothesis must
+	// hold across seeds, not at one lucky draw).
+	Seeds []int64
+	// Precondition is asserted for every case before Check runs. It must
+	// verify the dataset can falsify the claim at all.
+	Precondition func(c Case) error
+	// Check asserts the claim at one case.
+	Check func(c Case) error
+}
+
+// validate enforces the harness discipline.
+func (h Hypothesis) validate() error {
+	if h.Name == "" {
+		return fmt.Errorf("scenario: hypothesis needs a name")
+	}
+	if h.Dimension == "" {
+		return fmt.Errorf("scenario: hypothesis %q needs a dimension name", h.Name)
+	}
+	if len(h.Values) < 2 {
+		return fmt.Errorf("scenario: hypothesis %q varies %d value(s) of %s; need >= 2", h.Name, len(h.Values), h.Dimension)
+	}
+	if len(h.Seeds) < 2 {
+		return fmt.Errorf("scenario: hypothesis %q replicates across %d seed(s); need >= 2", h.Name, len(h.Seeds))
+	}
+	seen := map[string]bool{}
+	for _, v := range h.Values {
+		if seen[v] {
+			return fmt.Errorf("scenario: hypothesis %q repeats value %q", h.Name, v)
+		}
+		seen[v] = true
+	}
+	if h.Precondition == nil {
+		return fmt.Errorf("scenario: hypothesis %q has no precondition; assert what makes it falsifiable", h.Name)
+	}
+	if h.Check == nil {
+		return fmt.Errorf("scenario: hypothesis %q has no check", h.Name)
+	}
+	return nil
+}
+
+// Run evaluates the hypothesis as a subtest per (value, seed) case.
+// Harness-discipline violations and precondition failures are fatal.
+func Run(t *testing.T, h Hypothesis) {
+	t.Helper()
+	if err := h.validate(); err != nil {
+		t.Fatal(err)
+	}
+	t.Run(h.Name, func(t *testing.T) {
+		for i, v := range h.Values {
+			for _, seed := range h.Seeds {
+				c := Case{Value: v, Index: i, Seed: seed}
+				t.Run(fmt.Sprintf("%s=%s/seed=%d", h.Dimension, v, seed), func(t *testing.T) {
+					if err := h.Precondition(c); err != nil {
+						t.Fatalf("precondition: %v", err)
+					}
+					if err := h.Check(c); err != nil {
+						t.Errorf("hypothesis %q falsified: %v", h.Name, err)
+					}
+				})
+			}
+		}
+	})
+}

@@ -1,0 +1,90 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func okHypothesis() Hypothesis {
+	return Hypothesis{
+		Name:         "ok",
+		Dimension:    "dim",
+		Values:       []string{"a", "b"},
+		Seeds:        []int64{1, 2},
+		Precondition: func(Case) error { return nil },
+		Check:        func(Case) error { return nil },
+	}
+}
+
+func TestValidateDiscipline(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Hypothesis)
+		want   string
+	}{
+		{"no name", func(h *Hypothesis) { h.Name = "" }, "needs a name"},
+		{"no dimension", func(h *Hypothesis) { h.Dimension = "" }, "needs a dimension"},
+		{"one value", func(h *Hypothesis) { h.Values = []string{"a"} }, "need >= 2"},
+		{"one seed", func(h *Hypothesis) { h.Seeds = []int64{1} }, "need >= 2"},
+		{"dup value", func(h *Hypothesis) { h.Values = []string{"a", "a"} }, "repeats value"},
+		{"no precondition", func(h *Hypothesis) { h.Precondition = nil }, "no precondition"},
+		{"no check", func(h *Hypothesis) { h.Check = nil }, "no check"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			h := okHypothesis()
+			tt.mutate(&h)
+			err := h.validate()
+			if err == nil {
+				t.Fatal("discipline violation accepted")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+	if err := okHypothesis().validate(); err != nil {
+		t.Errorf("valid hypothesis rejected: %v", err)
+	}
+}
+
+func TestRunCoversEveryCase(t *testing.T) {
+	h := okHypothesis()
+	seen := map[Case]int{}
+	h.Check = func(c Case) error {
+		seen[c]++
+		return nil
+	}
+	Run(t, h)
+	if len(seen) != len(h.Values)*len(h.Seeds) {
+		t.Fatalf("covered %d cases, want %d", len(seen), len(h.Values)*len(h.Seeds))
+	}
+	for c, n := range seen {
+		if n != 1 {
+			t.Errorf("case %+v ran %d times", c, n)
+		}
+		if c.Value != h.Values[c.Index] {
+			t.Errorf("case %+v has mismatched value/index", c)
+		}
+	}
+}
+
+func TestRunReportsFalsification(t *testing.T) {
+	h := okHypothesis()
+	h.Check = func(c Case) error {
+		if c.Value == "b" {
+			return fmt.Errorf("claim fails at %s", c.Value)
+		}
+		return nil
+	}
+	// Run in a throwaway subtest recorder so the failure doesn't fail us.
+	result := testing.RunTests(func(pat, str string) (bool, error) { return true, nil },
+		[]testing.InternalTest{{
+			Name: "probe",
+			F:    func(t *testing.T) { Run(t, h) },
+		}})
+	if result {
+		t.Error("falsified hypothesis passed")
+	}
+}

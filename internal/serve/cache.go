@@ -66,6 +66,9 @@ type viewCaches struct {
 	snap  *store.Snapshot
 	etag  string
 	views [numViews]cachedView
+	// whatif caches POST /v1/whatif reports, which are keyed by request
+	// material rather than a fixed view ID; see whatif.go.
+	whatif whatifCache
 }
 
 func newViewCaches(snap *store.Snapshot) *viewCaches {

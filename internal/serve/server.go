@@ -31,8 +31,10 @@ const (
 	// DefaultMaxQueryBytes bounds the raw query string; longer requests
 	// are rejected with 414 before any handler work.
 	DefaultMaxQueryBytes = 1024
-	// DefaultMaxBodyBytes bounds request bodies. The API is read-only, so
-	// anything beyond a trivial body is a client error.
+	// DefaultMaxBodyBytes bounds request bodies. The only endpoint that
+	// reads one is POST /v1/whatif, whose policy configs are bounded by
+	// whatif.MaxPolicies and fit comfortably; anything bigger is a client
+	// error.
 	DefaultMaxBodyBytes = 4096
 )
 
@@ -123,7 +125,7 @@ type Server struct {
 
 // Endpoint keys used in metrics labels.
 var endpointKeys = []string{
-	"health", "outcomes", "scaling", "mtti", "categories", "runs", "runs_list", "metrics",
+	"health", "outcomes", "scaling", "mtti", "categories", "runs", "runs_list", "whatif", "metrics",
 }
 
 // fleetEndpointKeys extends endpointKeys in fleet mode.
@@ -178,6 +180,7 @@ func New(cfg Config) (*Server, error) {
 	s.routeFast("GET /v1/categories", "categories", s.handleCategories)
 	s.routeFast("GET /v1/runs", "runs_list", s.handleRuns)
 	s.route("GET /v1/runs/{apid}", "runs", s.handleRun)
+	s.route("POST /v1/whatif", "whatif", s.handleWhatif)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
 	if cfg.Fleet != nil {
 		s.routeFast("GET /v1/fleet/outcomes", "fleet_outcomes", s.handleFleetOutcomes)

@@ -1,0 +1,42 @@
+package whatif
+
+import (
+	"testing"
+)
+
+// BenchmarkSimulate prices one full simulation — the four default
+// policies plus the implicit baseline over the fixture's analyzed stream.
+// This is exactly the work one cold /v1/whatif render performs, so the
+// BENCH_whatif.json gates bound the serving tier's worst case.
+func BenchmarkSimulate(b *testing.B) {
+	f := getFixture(b)
+	pols := DefaultPolicies()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Simulate(f.input, pols, Options{Seed: 1, Parallelism: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Runs != len(f.input.Runs) {
+			b.Fatal("short report")
+		}
+	}
+}
+
+// BenchmarkSimulateRun prices the per-run hot path under the heaviest
+// default policy.
+func BenchmarkSimulateRun(b *testing.B) {
+	f := getFixture(b)
+	pol := DefaultPolicies()[3]
+	mtti := newMTTITable(f.input)
+	runs := f.input.Runs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := simulateRun(&runs[i%len(runs)], pol, 1, mtti)
+		if d.nh < 0 {
+			b.Fatal("negative node-hours")
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package whatif
+
+import (
+	"fmt"
+
+	"logdiver/internal/checkpoint"
+	"logdiver/internal/metrics"
+)
+
+// ScalePlan is the checkpoint plan a policy implies at one measured scale
+// bucket: the same internal/checkpoint math the simulator applies, exposed
+// so planning tools (examples/checkpoint-planning) and the simulator
+// cannot drift.
+type ScalePlan struct {
+	// Lo and Hi bound the bucket: Lo <= nodes < Hi.
+	Lo, Hi int
+	// Label renders the bounds compactly.
+	Label string
+	// Runs and Interrupts are the bucket's measured population.
+	Runs, Interrupts int
+	// MTTIHours is the measured mean time to interrupt (0: none measured).
+	MTTIHours float64
+	// Plan carries the Young/Daly intervals and modeled efficiencies.
+	// It is the zero Plan when the bucket saw no interrupts.
+	Plan checkpoint.Plan
+}
+
+// PlanByScale derives per-scale checkpoint plans from a measured MTTI
+// distribution under a policy's checkpoint economics (CheckpointCost and
+// RestartCost). referenceRunHours is the representative uninterrupted run
+// length for the unprotected comparison. The policy must checkpoint
+// (fixed or daly); buckets without measured interrupts yield a zero Plan.
+func PlanByScale(mtti []metrics.MTTIBucket, pol Policy, referenceRunHours float64) ([]ScalePlan, error) {
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	if pol.Checkpoint == CheckpointNone {
+		return nil, fmt.Errorf("whatif: policy %q does not checkpoint; nothing to plan", pol.Name)
+	}
+	plans := make([]ScalePlan, len(mtti))
+	for i, b := range mtti {
+		plans[i] = ScalePlan{
+			Lo: b.Lo, Hi: b.Hi,
+			Label:      bucketLabel(b.Lo, b.Hi),
+			Runs:       b.Runs,
+			Interrupts: b.Interrupts,
+			MTTIHours:  b.MTTIHours,
+		}
+		if b.Interrupts == 0 {
+			continue
+		}
+		plan, err := checkpoint.BuildPlan(checkpoint.Params{
+			MTTIHours:       b.MTTIHours,
+			CheckpointHours: pol.CheckpointCost.Hours(),
+			RestartHours:    pol.RestartCost.Hours(),
+		}, referenceRunHours)
+		if err != nil {
+			return nil, fmt.Errorf("whatif: bucket %s: %w", plans[i].Label, err)
+		}
+		plans[i].Plan = plan
+	}
+	return plans, nil
+}

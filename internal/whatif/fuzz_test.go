@@ -1,0 +1,33 @@
+package whatif
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzPolicyConfig checks the parser never panics and that accepted
+// configs round-trip through the canonical rendering — the property the
+// /v1/whatif cache key depends on.
+func FuzzPolicyConfig(f *testing.F) {
+	f.Add("[policy a]\n")
+	f.Add("[policy daly]\ncheckpoint = daly\ncheckpoint-cost = 7m\nrestart-cost = 12m\n")
+	f.Add("[policy fixed]\ncheckpoint = fixed\ncheckpoint-interval = 2h\ncheckpoint-cost = 30s\n")
+	f.Add("[policy r]\nretry-limit = 3\nretry-backoff = 1m\ndetect-fraction = 0.25\n")
+	f.Add("# comment\n; comment\n[policy a]\n\n[policy b]\nretry-limit = 1\n")
+	f.Add("[policy a]\ncheckpoint = none\n")
+	f.Add(PoliciesString(DefaultPolicies()))
+	f.Fuzz(func(t *testing.T, text string) {
+		pols, err := ParsePolicies(text)
+		if err != nil {
+			return
+		}
+		rendered := PoliciesString(pols)
+		again, err := ParsePolicies(rendered)
+		if err != nil {
+			t.Fatalf("canonical rendering rejected: %v\n%s", err, rendered)
+		}
+		if !reflect.DeepEqual(pols, again) {
+			t.Fatalf("round trip drifted:\n got %+v\nwant %+v\nvia\n%s", again, pols, rendered)
+		}
+	})
+}
